@@ -1,0 +1,145 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Two-level DEAR latency filter vs no filter: lowering the coherent
+   threshold to the floor makes every filtered miss "coherent", so the
+   optimizer rewrites prefetches in loops where they are useful — the
+   selectivity is what protects performance (paper §5.2.1).
+2. Re-adaptation (rollback) on vs off, measured where deployments can
+   go wrong: rollback must never make things worse.
+3. Adaptive strategy vs fixed: on DAXPY's cache-resident working set
+   the adaptive policy should find the noprefetch decision by itself.
+4. Cross-thread profile aggregation vs single-thread profiling: with
+   only one monitored thread the optimizer sees fewer qualifying
+   samples and acts later or not at all.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+import dataclasses
+
+import pytest
+
+from repro.config import itanium2_smp
+from repro.core import run_with_cobra
+from repro.core.framework import Cobra
+from repro.cpu import Machine, Scheduler
+from repro.workloads import BENCHMARKS, build_daxpy, working_set_elems
+
+MAX_BUNDLES = 400_000_000
+
+
+def _daxpy_prog(machine, reps=40):
+    n = working_set_elems("128K", 4)
+    return build_daxpy(machine, n, 4, outer_reps=reps)
+
+
+def test_ablation_two_level_filter(benchmark):
+    """Dropping the second-level filter must not help, and typically hurts."""
+
+    def run(threshold):
+        machine = Machine(itanium2_smp(4))
+        bench = BENCHMARKS["cg"]
+        prog = bench.build(machine, 4, reps=bench.default_reps * 3)
+        config = dataclasses.replace(
+            machine.config.cobra,
+            coherent_latency_threshold=threshold,
+            enable_rollback=False,
+        )
+        res, rep = run_with_cobra(prog, "noprefetch", config=config, max_bundles=MAX_BUNDLES)
+        return res.cycles, len(rep.deployments)
+
+    def experiment():
+        filtered, _ = run(180)      # paper's coherent band
+        unfiltered, n_dep = run(13)  # everything above the floor "qualifies"
+        return filtered, unfiltered, n_dep
+
+    filtered, unfiltered, n_dep = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(f"\nfiltered={filtered} unfiltered={unfiltered} (unfiltered deployments={n_dep})")
+    assert filtered <= unfiltered * 1.02, (
+        "the two-level filter must be at least as good as no filter"
+    )
+
+
+def test_ablation_rollback(benchmark):
+    """Rollback bounds the damage of a mistaken deployment."""
+
+    def run(enable):
+        machine = Machine(itanium2_smp(4))
+        bench = BENCHMARKS["ft"]
+        prog = bench.build(machine, 4, reps=bench.default_reps * 3)
+        config = dataclasses.replace(machine.config.cobra, enable_rollback=enable)
+        res, rep = run_with_cobra(prog, "noprefetch", config=config, max_bundles=MAX_BUNDLES)
+        rollbacks = sum(1 for e in rep.events if e.kind == "rollback")
+        return res.cycles, rollbacks
+
+    def experiment():
+        with_rb, n_rb = run(True)
+        without_rb, _ = run(False)
+        return with_rb, without_rb, n_rb
+
+    with_rb, without_rb, n_rb = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(f"\nwith rollback={with_rb} ({n_rb} rollbacks) without={without_rb}")
+    assert with_rb <= without_rb * 1.05, "rollback must not make things worse"
+
+
+def test_ablation_adaptive_policy(benchmark):
+    """Adaptive picks noprefetch on the cache-resident DAXPY by itself."""
+
+    def experiment():
+        out = {}
+        for strategy in ("noprefetch", "excl", "adaptive"):
+            machine = Machine(itanium2_smp(4, scale=4))
+            prog = _daxpy_prog(machine)
+            res, rep = run_with_cobra(prog, strategy, max_bundles=MAX_BUNDLES)
+            out[strategy] = (res.cycles, [d.optimization for d in rep.deployments])
+        return out
+
+    out = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit()
+    for k, (cycles, deps) in out.items():
+        emit(f"{k}: cycles={cycles} deployments={deps}")
+    assert "noprefetch" in out["adaptive"][1], (
+        "adaptive must choose noprefetch for the coherence-dominated loop"
+    )
+    assert out["adaptive"][0] <= out["excl"][0], (
+        "adaptive must not do worse than the wrong fixed strategy"
+    )
+
+
+def test_ablation_single_thread_profile(benchmark):
+    """System-wide aggregation beats profiling a single thread."""
+
+    def run(single):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy_prog(machine)
+        cobra = Cobra(machine, prog.image, "noprefetch")
+        if single:
+            cobra.optimizer.monitors = cobra.monitors[:1]
+            for monitor in cobra.monitors[1:]:
+                monitor.stop()  # not yet started; prevents arming below
+        scheduler = Scheduler([th.core for th in prog.threads])
+        cobra.install(scheduler)
+        if single:
+            for monitor in cobra.monitors[1:]:
+                monitor.stop()
+        res = prog.run(max_bundles=MAX_BUNDLES, scheduler=scheduler)
+        cobra.stop()
+        report = cobra.report()
+        return res.cycles, report.samples
+
+    def experiment():
+        all_cycles, all_samples = run(False)
+        one_cycles, one_samples = run(True)
+        return all_cycles, all_samples, one_cycles, one_samples
+
+    all_cycles, all_samples, one_cycles, one_samples = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    emit(f"\nall-threads: cycles={all_cycles} samples={all_samples}; "
+          f"one-thread: cycles={one_cycles} samples={one_samples}")
+    assert one_samples < all_samples, "single-thread profiling sees fewer samples"
+    assert all_cycles <= one_cycles * 1.05, (
+        "system-wide profiles must not be worse than single-thread profiles"
+    )

@@ -1,0 +1,71 @@
+"""Figure 2: the icc-style assembly our compiler emits for DAXPY.
+
+The paper shows the compiler-generated Itanium code: six prologue
+``lfetch`` instructions covering the first cache lines of y, then a
+software-pipelined loop with predicated loads, one rotating-register
+``lfetch`` alternating between the x and y streams 9 lines ahead, the
+fma, the predicated store, and ``br.ctop``.  We compile the same kernel
+(with the icc prologue count) and check every structural property.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.compiler import AGGRESSIVE, PrefetchPlan, StreamLoop, Term
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.isa import Op, disassemble
+from repro.workloads import build_daxpy
+
+ICC_PLAN = PrefetchPlan(prologue_per_stream=3)  # 3 x 2 streams = 6, as in Fig. 2
+
+
+def _compile_daxpy():
+    machine = Machine(itanium2_smp(4, scale=4))
+    prog = build_daxpy(machine, 2048, 4, outer_reps=1, plan=ICC_PLAN)
+    return prog
+
+
+def test_fig2_daxpy_assembly(benchmark):
+    prog = benchmark.pedantic(_compile_daxpy, rounds=1, iterations=1)
+    image = prog.image
+    region = image.regions["daxpy"]
+    listing = disassemble(image, *region)
+    emit()
+    emit("Figure 2 — compiler-generated DAXPY kernel")
+    emit(listing)
+
+    # six prologue prefetches (Figure 2 shows lfetch for y[0]..y[0]+648)
+    head = image.labels[".daxpy_loop"]
+    prologue_lfetch = image.count_ops(Op.LFETCH, (region[0], head))
+    assert prologue_lfetch == 6
+    # exactly one rotating lfetch inside the software-pipelined loop
+    loop_lfetch = image.find_ops(Op.LFETCH, (head, region[1]))
+    assert len(loop_lfetch) == 1
+    addr, slot = loop_lfetch[0]
+    lf = image.fetch_bundle(addr).slots[slot]
+    assert lf.hint == "nt1" and lf.qp == 16 and lf.r2 >= 32, (
+        "the in-loop lfetch is predicated, nt1-hinted, rotating-addressed"
+    )
+    # the loop closes with br.ctop (modulo-scheduled), Figure 2's .b1_22
+    assert image.count_ops(Op.BR_CTOP, region) == 1
+    # the re-queue add advances by 16 bytes (two streams, Fig. 2's
+    # "add r41=16,r43")
+    requeues = [
+        instr
+        for a in range(head, region[1], 16)
+        if a in image.bundles
+        for instr in image.fetch_bundle(a).slots
+        if instr.op is Op.ADDI and instr.qp == 16 and instr.r1 >= 32
+    ]
+    assert len(requeues) == 1 and requeues[0].imm == 16
+    # predicated stages: load on p16, fma on p17, store on p18
+    stages = {
+        instr.op: instr.qp
+        for a in range(head, region[1], 16)
+        if a in image.bundles
+        for instr in image.fetch_bundle(a).slots
+        if instr.op in (Op.LDFD, Op.FMA, Op.STFD)
+    }
+    assert stages[Op.LDFD] == 16 and stages[Op.FMA] == 17 and stages[Op.STFD] == 18

@@ -1,0 +1,58 @@
+"""Figure 3: DAXPY under the three prefetch strategies.
+
+(a) prefetch vs noprefetch and (b) prefetch vs prefetch.excl, over the
+paper's three working-set classes and 1/2/4 threads on the 4-way SMP
+server.  Bars are steady-state execution time normalized to the
+1-thread prefetch run of each working set (warm-up subtracted, because
+the paper's million-iteration outer loop amortizes it away).
+
+Shape expectations from the paper:
+
+* 128K, 1 thread — no difference between the three strategies;
+* 128K, 2/4 threads — noprefetch ~1.35x/~1.5x faster; excl faster too
+  but less so (paper: 18 %/14 %);
+* 512K, 4 threads — excl ~7 % faster than prefetch;
+* 2M — prefetch wins big over noprefetch (streaming), excl no longer
+  helps (the paper reports an excl slowdown from extra write-backs).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, DAXPY_STRATEGIES, DAXPY_THREADS, DAXPY_WORKING_SETS
+
+from repro.analysis import format_fig3_table
+
+
+def test_fig3_daxpy_strategies(benchmark, daxpy_matrix):
+    results = benchmark.pedantic(lambda: daxpy_matrix, rounds=1, iterations=1)
+    emit()
+    emit("Figure 3 — OpenMP DAXPY on the 4-way SMP server")
+    emit(
+        format_fig3_table(
+            results,
+            list(DAXPY_WORKING_SETS),
+            list(DAXPY_THREADS),
+            list(DAXPY_STRATEGIES),
+        )
+    )
+
+    def ratio(ws, t, strategy):  # prefetch time / strategy time
+        return results[(ws, t, "prefetch")] / results[(ws, t, strategy)]
+
+    # 128K, 1 thread: all three equivalent (paper: "no much difference")
+    assert abs(ratio("128K", 1, "noprefetch") - 1.0) < 0.05
+    assert abs(ratio("128K", 1, "prefetch.excl") - 1.0) < 0.05
+    # 128K, multithreaded: noprefetch wins clearly (paper 1.35x / 1.52x)
+    assert ratio("128K", 2, "noprefetch") > 1.15
+    assert ratio("128K", 4, "noprefetch") > 1.3
+    # 128K, multithreaded: excl wins, but less than noprefetch
+    assert ratio("128K", 2, "prefetch.excl") > 1.05
+    assert ratio("128K", 4, "prefetch.excl") > 1.05
+    assert ratio("128K", 4, "noprefetch") > ratio("128K", 4, "prefetch.excl")
+    # 512K, 4 threads: excl still ahead (paper ~7 %)
+    assert ratio("512K", 4, "prefetch.excl") > 1.0
+    # 2M: prefetching is essential — noprefetch loses badly
+    assert ratio("2M", 1, "noprefetch") < 0.8
+    assert ratio("2M", 4, "noprefetch") < 0.8
+    # 2M: excl has lost its edge (paper reports a slowdown)
+    assert ratio("2M", 4, "prefetch.excl") < 1.1

@@ -1,0 +1,44 @@
+"""Figure 6: number of L3 misses, normalized to the prefetch baseline.
+
+"When coherent memory accesses are a significant portion of L3 cache
+misses, reducing L3 misses substantially indicates that we have reduced
+unnecessary coherent misses" (§5.2.2).  The paper reports reductions up
+to ~30-40 % (SP, CG on SMP; BT, SP, CG ~20 % on the Altix).
+
+Shape assertions: noprefetch reduces average L3 misses on both
+machines, and at least one benchmark shows a substantial (>15 %)
+reduction.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, npb_series
+
+from repro.analysis import format_series_table
+
+
+def _check(series_by_strategy) -> None:
+    np_series = series_by_strategy["noprefetch"]
+    assert np_series.avg_normalized_l3() < 1.0, "noprefetch must cut L3 misses"
+    best = min(c.normalized_l3 for c in np_series.comparisons)
+    assert best < 0.85, "at least one benchmark shows a substantial reduction"
+
+
+def test_fig6a_smp_l3_misses(benchmark, npb_matrix):
+    series = benchmark.pedantic(
+        lambda: npb_series(npb_matrix, "smp4"), rounds=1, iterations=1
+    )
+    emit()
+    emit("Figure 6(a) — normalized L3 misses, 4 threads SMP (1.0 = prefetch)")
+    emit(format_series_table(series, "normalized_l3"))
+    _check(series)
+
+
+def test_fig6b_altix_l3_misses(benchmark, npb_matrix):
+    series = benchmark.pedantic(
+        lambda: npb_series(npb_matrix, "altix8"), rounds=1, iterations=1
+    )
+    emit()
+    emit("Figure 6(b) — normalized L3 misses, 8 threads Altix (1.0 = prefetch)")
+    emit(format_series_table(series, "normalized_l3"))
+    _check(series)

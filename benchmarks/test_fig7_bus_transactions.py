@@ -1,0 +1,45 @@
+"""Figure 7: system-bus memory transactions, normalized to baseline.
+
+"Since L3 misses are directly translated into memory transactions on
+the system bus, the number of memory transactions is highly correlated
+with L3 misses.  Hence, Figure 7 is closely correlated to Figure 6"
+(§5.2.3).  We assert exactly that correlation, plus the average
+reduction under noprefetch.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, npb_series
+
+from repro.analysis import format_series_table
+
+
+def _check(series_by_strategy) -> None:
+    np_series = series_by_strategy["noprefetch"]
+    assert np_series.avg_normalized_bus() < 1.0
+    # Fig. 7 correlates with Fig. 6: per benchmark the two normalized
+    # metrics move together
+    for comparison in np_series.comparisons:
+        assert abs(comparison.normalized_bus - comparison.normalized_l3) < 0.15, (
+            f"{comparison.name}: bus and L3 reductions should be correlated"
+        )
+
+
+def test_fig7a_smp_bus_transactions(benchmark, npb_matrix):
+    series = benchmark.pedantic(
+        lambda: npb_series(npb_matrix, "smp4"), rounds=1, iterations=1
+    )
+    emit()
+    emit("Figure 7(a) — normalized bus memory transactions, 4 threads SMP")
+    emit(format_series_table(series, "normalized_bus"))
+    _check(series)
+
+
+def test_fig7b_altix_bus_transactions(benchmark, npb_matrix):
+    series = benchmark.pedantic(
+        lambda: npb_series(npb_matrix, "altix8"), rounds=1, iterations=1
+    )
+    emit()
+    emit("Figure 7(b) — normalized bus memory transactions, 8 threads Altix")
+    emit(format_series_table(series, "normalized_bus"))
+    _check(series)

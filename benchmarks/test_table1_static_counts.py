@@ -1,0 +1,54 @@
+"""Table 1: static loop and prefetch counts in the compiled binaries.
+
+The paper counts ``lfetch``, ``br.ctop``, ``br.cloop`` and ``br.wtop``
+in the icc-compiled OpenMP NPB binaries.  We compile our structural
+analogues and print the same table (ours/paper).  Shape expectations:
+MG and CG near the top for lfetch, EP tiny, every benchmark dominated
+by counted/modulo-scheduled loops, ``br.wtop`` only where non-counted
+inner loops exist (gathers).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import PAPER_TABLE1, format_table1
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.isa import Op
+from repro.workloads import BENCHMARKS
+
+N_THREADS = 4
+
+
+def _static_counts() -> dict[str, tuple[int, int, int, int]]:
+    counts = {}
+    for name, bench in BENCHMARKS.items():
+        machine = Machine(itanium2_smp(N_THREADS))
+        prog = bench.build(machine, N_THREADS, reps=1)
+        image = prog.image
+        counts[name] = (
+            image.count_ops(Op.LFETCH),
+            image.count_ops(Op.BR_CTOP),
+            image.count_ops(Op.BR_CLOOP),
+            image.count_ops(Op.BR_WTOP),
+        )
+    return counts
+
+
+def test_table1_static_counts(benchmark):
+    counts = benchmark.pedantic(_static_counts, rounds=1, iterations=1)
+    emit()
+    emit("Table 1 — static counts in compiled NPB binaries")
+    emit(format_table1(counts))
+
+    lf = {name: c[0] for name, c in counts.items()}
+    # shape assertions mirroring the paper's table
+    assert lf["ep"] == min(lf.values()), "EP must have the fewest prefetches"
+    assert lf["mg"] >= lf["bt"], "MG outranks BT in static prefetches"
+    assert lf["sp"] > lf["bt"], "SP has more loops/prefetches than BT"
+    for name, (lfetch, ctop, cloop, wtop) in counts.items():
+        assert lfetch >= 0 and ctop + cloop + wtop > 0
+    # br.wtop appears exactly where non-counted inner loops exist
+    assert counts["ft"][3] > 0 and counts["mg"][3] > 0 and counts["cg"][3] > 0
+    assert counts["bt"][3] == 0 and counts["sp"][3] == 0

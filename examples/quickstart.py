@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: run COBRA on the paper's motivating DAXPY kernel.
+
+Builds a 4-way Itanium-2-like SMP machine, compiles the OpenMP DAXPY
+kernel with icc-style aggressive prefetching, runs it once as the
+baseline, then runs it again with COBRA attached in adaptive mode and
+prints what the optimizer observed, decided, and patched.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Machine, build_daxpy, itanium2_smp, run_with_cobra, verify_daxpy
+from repro.workloads import working_set_elems
+
+THREADS = 4
+REPS = 40
+SCALE = 4  # cache/working-set scale factor (DESIGN.md §1)
+
+
+def main() -> None:
+    n = working_set_elems("128K", SCALE)
+    print(f"DAXPY: {n} elements/array (the paper's 128 KB working-set class), "
+          f"{THREADS} threads, {REPS} outer iterations\n")
+
+    # -- baseline: the compiler's aggressively-prefetched binary --------
+    machine = Machine(itanium2_smp(THREADS, scale=SCALE))
+    baseline = build_daxpy(machine, n, THREADS, REPS)
+    base = baseline.run()
+    assert verify_daxpy(baseline, REPS)
+    print(f"baseline (prefetch):  {base.cycles:>9} cycles   "
+          f"coherent ratio {base.events.coherent_ratio():.2f}")
+
+    # -- the same binary under COBRA ------------------------------------
+    machine = Machine(itanium2_smp(THREADS, scale=SCALE))
+    program = build_daxpy(machine, n, THREADS, REPS)
+    result, report = run_with_cobra(program, strategy="adaptive")
+    assert verify_daxpy(program, REPS)
+    print(f"with COBRA (adaptive): {result.cycles:>9} cycles   "
+          f"speedup {base.cycles / result.cycles:.2f}x\n")
+
+    print(report.summary())
+    print("\noptimizer event log:")
+    for event in report.events:
+        loop = f"loop {event.loop_head:#x}" if event.loop_head else ""
+        print(f"  @{event.retired:>8} retired  {event.kind:8s} {loop:18s} {event.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Analysis: normalized metrics and paper-style report rendering."""
+
+from .metrics import Comparison, ExperimentSeries
+from .report import PAPER_TABLE1, format_fig3_table, format_series_table, format_table1
+
+__all__ = [
+    "Comparison",
+    "ExperimentSeries",
+    "format_series_table",
+    "format_table1",
+    "format_fig3_table",
+    "PAPER_TABLE1",
+]

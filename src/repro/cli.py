@@ -1,0 +1,145 @@
+"""Command-line interface: run workloads and paper experiments.
+
+Examples::
+
+    python -m repro daxpy --threads 4 --working-set 128K --strategy adaptive
+    python -m repro npb cg --machine altix8 --strategy noprefetch
+    python -m repro table1
+    python -m repro disasm daxpy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table1
+from .config import itanium2_smp, sgi_altix
+from .core import run_with_cobra
+from .cpu import Machine
+from .isa import Op, disassemble
+from .workloads import BENCHMARKS, build_daxpy, verify_daxpy, working_set_elems
+
+__all__ = ["main"]
+
+MACHINES = {
+    "smp4": (lambda scale: itanium2_smp(4, scale=scale), 4),
+    "altix8": (lambda scale: sgi_altix(8, scale=scale), 8),
+}
+
+
+def _machine(args) -> tuple[Machine, int]:
+    factory, default_threads = MACHINES[args.machine]
+    machine = Machine(factory(args.scale))
+    threads = args.threads or default_threads
+    return machine, threads
+
+
+def _report_run(result, report, verified: bool | None) -> int:
+    print(f"cycles:          {result.cycles}")
+    print(f"retired:         {result.retired}")
+    print(f"L3 misses:       {result.events.l3_misses}")
+    print(f"bus txns:        {result.events.bus_memory}")
+    print(f"coherent ratio:  {result.events.coherent_ratio():.2f}")
+    if verified is not None:
+        print(f"verified:        {verified}")
+    if report is not None:
+        print(report.summary())
+    return 0 if verified in (True, None) else 1
+
+
+def _cmd_daxpy(args) -> int:
+    machine, threads = _machine(args)
+    n = working_set_elems(args.working_set, machine.config.scale)
+    prog = build_daxpy(machine, n, threads, outer_reps=args.reps)
+    if args.strategy == "baseline":
+        result, report = prog.run(), None
+    else:
+        result, report = run_with_cobra(prog, args.strategy)
+    return _report_run(result, report, verify_daxpy(prog, args.reps))
+
+
+def _cmd_npb(args) -> int:
+    bench = BENCHMARKS[args.benchmark]
+    machine, threads = _machine(args)
+    reps = args.reps or bench.default_reps
+    prog = bench.build(machine, threads, reps=reps)
+    if args.strategy == "baseline":
+        result, report = prog.run(), None
+    else:
+        result, report = run_with_cobra(prog, args.strategy)
+    return _report_run(result, report, bench.verify(prog, reps))
+
+
+def _cmd_table1(args) -> int:
+    counts = {}
+    for name, bench in BENCHMARKS.items():
+        machine = Machine(itanium2_smp(4, scale=args.scale))
+        prog = bench.build(machine, 4, reps=1)
+        counts[name] = (
+            prog.image.count_ops(Op.LFETCH),
+            prog.image.count_ops(Op.BR_CTOP),
+            prog.image.count_ops(Op.BR_CLOOP),
+            prog.image.count_ops(Op.BR_WTOP),
+        )
+    print(format_table1(counts))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    if args.kernel == "daxpy":
+        machine = Machine(itanium2_smp(4, scale=args.scale))
+        prog = build_daxpy(machine, 2048, 4, outer_reps=1)
+        region = prog.image.regions["daxpy"]
+        print(disassemble(prog.image, *region))
+        return 0
+    bench = BENCHMARKS.get(args.kernel)
+    if bench is None:
+        print(f"unknown kernel {args.kernel!r}", file=sys.stderr)
+        return 2
+    machine = Machine(itanium2_smp(4, scale=args.scale))
+    prog = bench.build(machine, 4, reps=1)
+    print(disassemble(prog.image))
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COBRA reproduction: run workloads under the runtime optimizer",
+    )
+    parser.add_argument("--scale", type=int, default=16, help="cache scale factor")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--machine", choices=sorted(MACHINES), default="smp4")
+    common.add_argument("--threads", type=int, default=0, help="0 = machine default")
+    common.add_argument(
+        "--strategy",
+        choices=("baseline", "noprefetch", "excl", "adaptive"),
+        default="adaptive",
+    )
+
+    daxpy = sub.add_parser("daxpy", parents=[common], help="run the OpenMP DAXPY kernel")
+    daxpy.add_argument("--working-set", choices=("128K", "512K", "2M"), default="128K")
+    daxpy.add_argument("--reps", type=int, default=20)
+    daxpy.set_defaults(func=_cmd_daxpy)
+
+    npb = sub.add_parser("npb", parents=[common], help="run one NPB-like benchmark")
+    npb.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    npb.add_argument("--reps", type=int, default=0, help="0 = benchmark default")
+    npb.set_defaults(func=_cmd_npb)
+
+    table1 = sub.add_parser("table1", help="print Table 1 (static counts)")
+    table1.set_defaults(func=_cmd_table1)
+
+    disasm = sub.add_parser("disasm", help="disassemble a compiled kernel")
+    disasm.add_argument("kernel", help="'daxpy' or an NPB benchmark name")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,32 @@
+"""The static compiler: kernel templates -> prefetch-aggressive binaries."""
+
+from .codegen import Emitter, Function, KernelCompiler, ParamSpec
+from .kernels import (
+    ComputeLoop,
+    GatherLoop,
+    HistogramLoop,
+    IntSumLoop,
+    KernelTemplate,
+    ReduceLoop,
+    StreamLoop,
+    Term,
+)
+from .prefetch import AGGRESSIVE, NO_PREFETCH, PrefetchPlan
+
+__all__ = [
+    "Emitter",
+    "Function",
+    "KernelCompiler",
+    "ParamSpec",
+    "StreamLoop",
+    "ReduceLoop",
+    "GatherLoop",
+    "HistogramLoop",
+    "ComputeLoop",
+    "IntSumLoop",
+    "KernelTemplate",
+    "Term",
+    "PrefetchPlan",
+    "AGGRESSIVE",
+    "NO_PREFETCH",
+]

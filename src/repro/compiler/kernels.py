@@ -1,0 +1,170 @@
+"""Kernel templates — the compiler's input language.
+
+The NPB-like workloads and DAXPY are built from five loop templates
+that cover the loop shapes the paper's Table 1 exhibits:
+
+* :class:`StreamLoop` — elementwise linear combination over contiguous
+  streams (DAXPY, stencil sweeps, smoothers).  Lowered to a modulo-
+  scheduled ``br.ctop`` loop with rotating registers and an icc-style
+  rotating prefetch queue (the paper's Figure 2 shape).
+* :class:`ReduceLoop` — sum / dot-product reduction, lowered to a
+  ``br.cloop`` counted loop.
+* :class:`GatherLoop` — CSR sparse matrix-vector product row sweep;
+  the inner non-counted loop uses ``br.wtop``.
+* :class:`HistogramLoop` — indexed read-modify-write increments
+  (bucket counting, IS).
+* :class:`ComputeLoop` — register-only FP work (EP).
+
+Each template instance compiles to one shared *function* that all
+threads call with per-chunk parameters in registers, so one binary is
+executed by every thread — which is what makes COBRA's single patch
+visible to all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CompilerError
+
+__all__ = [
+    "Term",
+    "StreamLoop",
+    "ReduceLoop",
+    "GatherLoop",
+    "HistogramLoop",
+    "ComputeLoop",
+    "IntSumLoop",
+    "KernelTemplate",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    """One linear term ``coef * array[i + shift]``."""
+
+    array: str
+    coef: float = 1.0
+    shift: int = 0  # element offset relative to the loop index
+
+
+@dataclass(frozen=True)
+class StreamLoop:
+    """``dest[i] = sum_j coef_j * src_j[i + shift_j]`` for i in a chunk.
+
+    ``scale`` optionally multiplies the sum by ``scale[i]`` (elementwise
+    product — used by FT's butterfly analogue).
+    """
+
+    name: str
+    dest: str
+    terms: tuple[Term, ...]
+
+    scale: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise CompilerError(f"{self.name}: StreamLoop needs at least one term")
+        if len(self.terms) > 8:
+            raise CompilerError(f"{self.name}: too many terms (max 8)")
+
+    @property
+    def load_arrays(self) -> tuple[str, ...]:
+        """Distinct arrays read, in first-use order."""
+        seen: dict[str, None] = {}
+        for term in self.terms:
+            seen.setdefault(term.array, None)
+        if self.scale is not None:
+            seen.setdefault(self.scale, None)
+        return tuple(seen)
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        """Distinct arrays touched (prefetch targets), dest included."""
+        seen = dict.fromkeys(self.load_arrays)
+        seen.setdefault(self.dest, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ReduceLoop:
+    """``result = sum_i src_a[i] * src_b[i]`` (dot) or ``sum_i src_a[i]``."""
+
+    name: str
+    src_a: str
+    src_b: str | None = None
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        if self.src_b is None or self.src_b == self.src_a:
+            return (self.src_a,)
+        return (self.src_a, self.src_b)
+
+
+@dataclass(frozen=True)
+class GatherLoop:
+    """CSR SpMV rows: ``y[i] += sum_{k in row i} a[k] * x[col[k]]``.
+
+    The inner per-row loop is non-counted (``br.wtop``); ``col`` and
+    ``a`` are streamed (prefetchable), ``x`` is gathered (not
+    prefetchable — as a real compiler would conclude).
+    """
+
+    name: str
+    ptr: str = "ptr"
+    col: str = "col"
+    val: str = "a"
+    x: str = "x"
+    y: str = "y"
+
+
+@dataclass(frozen=True)
+class IntSumLoop:
+    """``dest[i] = sum_j src_j[i + shift_j]`` over 64-bit integers.
+
+    Used for integer merges (IS's histogram reduction).  Sources are
+    (array, shift) pairs; coefficients are implicitly one.
+    """
+
+    name: str
+    dest: str
+    sources: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise CompilerError(f"{self.name}: IntSumLoop needs at least one source")
+        if len(self.sources) > 10:
+            raise CompilerError(f"{self.name}: too many sources (max 10)")
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(arr for arr, _ in self.sources)
+        seen.setdefault(self.dest, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class HistogramLoop:
+    """``cnt[key[i]] += 1`` — indexed RMW on a (possibly shared) array."""
+
+    name: str
+    key: str = "key"
+    cnt: str = "cnt"
+
+
+@dataclass(frozen=True)
+class ComputeLoop:
+    """Register-only FP work: ``flops_per_iter`` chained fmas per
+    iteration (EP's arithmetic core)."""
+
+    name: str
+    flops_per_iter: int = 4
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.flops_per_iter <= 16:
+            raise CompilerError(f"{self.name}: flops_per_iter out of range")
+
+
+KernelTemplate = (
+    StreamLoop | ReduceLoop | GatherLoop | HistogramLoop | ComputeLoop | IntSumLoop
+)

@@ -1,0 +1,83 @@
+"""Prefetch planning — the "aggressive compiler prefetching" the paper
+optimizes away at runtime.
+
+The defaults mirror what the Intel icc 9.1 output in the paper's
+Figure 2 does for DAXPY:
+
+* in the loop, one ``lfetch`` per iteration targeting ``distance_lines``
+  (9) cache lines ahead of the current references, rotating across all
+  streams via the rotating register queue;
+* before the loop, ``prologue_per_stream`` prefetches covering each
+  stream's first cache lines (Figure 2 shows six for two streams).
+
+A plan is *static* compiler policy.  COBRA's whole point is that the
+right plan depends on runtime behaviour, so the compiled binary always
+uses the aggressive default and the runtime optimizer rewrites it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import LINE_SIZE
+from ..errors import CompilerError
+
+__all__ = ["PrefetchPlan", "AGGRESSIVE", "NO_PREFETCH"]
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Static data-prefetch policy for one compilation."""
+
+    enabled: bool = True
+    distance_lines: int = 9      # lines ahead of the current reference
+    #: Prologue lfetches covering the head of the destination chunk.
+    #: None -> cover the full prefetch distance (our compiler closes the
+    #: icc coverage hole; the paper's Figure 2 shows six — pass 6 to
+    #: render the exact icc shape).
+    prologue_per_stream: int | None = None
+    #: §2 alternative 1: "use conditional prefetches to nullify the
+    #: prefetches if the addresses are outside the intended range.
+    #: However, conditional prefetch generation is more expensive" —
+    #: one more compare and predicate per stream per iteration.
+    conditional: bool = False
+    #: §2 alternative 2: "generate multi-version code to select the
+    #: noprefetch version when the iteration count is small".
+    multiversion: bool = False
+    #: Iteration-count cutoff for the multi-version dispatch (None ->
+    #: twice the prefetch distance in elements).
+    multiversion_threshold: int | None = None
+    hint: str | None = "nt1"
+    excl: bool = False           # static .excl (normally a COBRA rewrite)
+
+    def __post_init__(self) -> None:
+        if self.distance_lines < 1:
+            raise CompilerError("prefetch distance must be >= 1 line")
+        if self.prologue_per_stream is not None and self.prologue_per_stream < 0:
+            raise CompilerError("prologue count must be >= 0")
+        if self.hint not in (None, "nt1", "nt2", "nta"):
+            raise CompilerError(f"bad prefetch hint {self.hint!r}")
+
+    @property
+    def distance_bytes(self) -> int:
+        return self.distance_lines * LINE_SIZE
+
+    @property
+    def prologue_count(self) -> int:
+        if self.prologue_per_stream is None:
+            return self.distance_lines
+        return self.prologue_per_stream
+
+    @property
+    def multiversion_cutoff(self) -> int:
+        if self.multiversion_threshold is not None:
+            return self.multiversion_threshold
+        return 2 * self.distance_lines * (LINE_SIZE // 8)
+
+
+#: icc -O2/-O3 default: prefetch on, 9 lines ahead (paper Figure 2).
+AGGRESSIVE = PrefetchPlan()
+
+#: Compile-time noprefetch (the paper's hand-made comparison binary,
+#: where every lfetch is replaced by a NOP before execution).
+NO_PREFETCH = PrefetchPlan(enabled=False)

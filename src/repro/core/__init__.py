@@ -1,0 +1,41 @@
+"""COBRA — Continuous Binary Re-Adaptation (the paper's contribution).
+
+A trace-based user-mode dynamic binary optimization framework for
+multithreaded applications: HPM-driven monitoring threads, cross-thread
+profile aggregation with two-level latency filtering, BTB-based hot-loop
+trace selection, a patch-and-redirect trace cache, and a centralized
+optimization thread applying the *noprefetch* and *prefetch.excl*
+rewrites adaptively.
+"""
+
+from .filters import MissProfile, MissStats
+from .framework import Cobra, CobraReport, run_with_cobra
+from .monitor import MONITOR_EVENTS, MonitoringThread
+from .optimizer import OptEvent, OptimizationThread
+from .opts import make_excl_rewrite, make_noprefetch_rewrite
+from .policy import STRATEGIES, Decision, decide
+from .profiler import SystemProfiler
+from .tracecache import Deployment, TraceCache
+from .tracesel import LoopTrace, select_loop_traces
+
+__all__ = [
+    "Cobra",
+    "CobraReport",
+    "run_with_cobra",
+    "MonitoringThread",
+    "MONITOR_EVENTS",
+    "SystemProfiler",
+    "MissProfile",
+    "MissStats",
+    "LoopTrace",
+    "select_loop_traces",
+    "TraceCache",
+    "Deployment",
+    "OptimizationThread",
+    "OptEvent",
+    "Decision",
+    "decide",
+    "STRATEGIES",
+    "make_noprefetch_rewrite",
+    "make_excl_rewrite",
+]

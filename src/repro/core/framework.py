@@ -1,0 +1,123 @@
+"""The COBRA framework facade (paper §3, Figure 4).
+
+Wires together all components: per-thread monitoring threads over the
+perfmon driver, the system profiler, the trace cache, and the single
+optimization thread — then hooks the optimizer into the machine's
+scheduler (COBRA runs as a preloaded shared library in the monitored
+process's address space; here it runs beside the simulated cores).
+
+Typical use::
+
+    machine = Machine(itanium2_smp(4))
+    prog = build_daxpy(machine, ...)          # any ParallelProgram
+    result, report = run_with_cobra(prog, strategy="adaptive")
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CobraConfig
+from ..cpu.machine import Machine
+from ..cpu.scheduler import Scheduler
+from ..errors import CobraError
+from ..isa.binary import BinaryImage
+from ..runtime.team import ParallelProgram, RunResult
+from .monitor import MonitoringThread
+from .optimizer import OptEvent, OptimizationThread
+from .policy import STRATEGIES
+from .tracecache import Deployment, TraceCache
+
+__all__ = ["Cobra", "CobraReport", "run_with_cobra"]
+
+
+@dataclass
+class CobraReport:
+    """What COBRA did during a run."""
+
+    strategy: str
+    samples: int
+    deployments: list[Deployment]
+    events: list[OptEvent]
+
+    def summary(self) -> str:
+        lines = [
+            f"COBRA strategy={self.strategy}: {self.samples} samples, "
+            f"{len(self.deployments)} active deployment(s)"
+        ]
+        for d in self.deployments:
+            lines.append(
+                f"  loop {d.loop.head:#x} -> trace {d.entry:#x} "
+                f"[{d.optimization}] {d.n_rewrites} rewrite(s)"
+            )
+        n_rollbacks = sum(1 for e in self.events if e.kind == "rollback")
+        if n_rollbacks:
+            lines.append(f"  {n_rollbacks} rollback(s)")
+        return "\n".join(lines)
+
+
+class Cobra:
+    """COBRA attached to one machine + program."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        program: BinaryImage,
+        strategy: str = "adaptive",
+        config: CobraConfig | None = None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise CobraError(f"unknown strategy {strategy!r} (use one of {STRATEGIES})")
+        self.machine = machine
+        self.program = program
+        self.config = config or machine.config.cobra
+        self.strategy = strategy
+        self.trace_cache = TraceCache(self.config.trace_cache_bundles)
+        machine.load_image(self.trace_cache.image)
+        self.monitors = [
+            MonitoringThread(core, self.config) for core in machine.cores
+        ]
+        self.optimizer = OptimizationThread(
+            machine, program, self.monitors, self.trace_cache, self.config, strategy
+        )
+        self._installed = False
+
+    def install(self, scheduler: Scheduler) -> None:
+        """Start monitoring and hook the optimization thread in."""
+        if self._installed:
+            raise CobraError("COBRA already installed on a scheduler")
+        for monitor in self.monitors:
+            monitor.start()
+        scheduler.add_tick_hook(self.optimizer.tick)
+        self._installed = True
+
+    def stop(self) -> None:
+        for monitor in self.monitors:
+            monitor.stop()
+
+    def report(self) -> CobraReport:
+        return CobraReport(
+            strategy=self.strategy,
+            samples=sum(m.samples_taken for m in self.monitors),
+            deployments=self.optimizer.deployments(),
+            events=list(self.optimizer.events),
+        )
+
+
+def run_with_cobra(
+    program: ParallelProgram,
+    strategy: str = "adaptive",
+    config: CobraConfig | None = None,
+    max_bundles: int | None = None,
+) -> tuple[RunResult, CobraReport]:
+    """Run a built :class:`ParallelProgram` under COBRA."""
+    machine = program.machine
+    cobra = Cobra(machine, program.image, strategy, config)
+    scheduler = Scheduler([th.core for th in program.threads])
+    cobra.install(scheduler)
+    try:
+        result = program.run(max_bundles=max_bundles, scheduler=scheduler)
+    finally:
+        cobra.stop()
+    return result, cobra.report()

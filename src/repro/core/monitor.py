@@ -1,0 +1,81 @@
+"""COBRA monitoring threads (paper §3.1).
+
+One monitoring thread is created per working thread.  It owns that
+thread's perfmon session: it programs the PMU events and the DEAR
+latency filter, catches the sampling signal, and copies each sample
+from the Kernel Sampling Buffer into its User Sampling Buffer (USB),
+where the optimization thread's profiler reads it.
+
+The four programmed counters are the coherent-traffic set from §4:
+``BUS_MEMORY`` (all bus transactions) plus the three snoop-response
+events whose sum over ``BUS_MEMORY`` estimates the coherent-access
+ratio.
+"""
+
+from __future__ import annotations
+
+from ..config import CobraConfig
+from ..cpu.core import Core
+from ..hpm.events import PmuEvent
+from ..hpm.perfmon import PerfmonSession
+from ..hpm.sample import Sample
+
+__all__ = ["MonitoringThread", "MONITOR_EVENTS"]
+
+#: Counter programming used by every monitoring thread (paper §4).
+MONITOR_EVENTS = [
+    PmuEvent.BUS_MEMORY,
+    PmuEvent.BUS_RD_HIT,
+    PmuEvent.BUS_RD_HITM,
+    PmuEvent.BUS_RD_INVAL,
+]
+
+#: USB capacity; oldest samples are dropped first (ring buffer).
+USB_CAPACITY = 4096
+
+
+class MonitoringThread:
+    """Monitors one working thread via its perfmon session."""
+
+    def __init__(self, core: Core, config: CobraConfig, pid: int = 0) -> None:
+        self.core = core
+        self.config = config
+        self.session = PerfmonSession(core, pid)
+        self.usb: list[Sample] = []
+        self.samples_taken = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Program the PMU and arm sampling (the thread 'attaches')."""
+        if self._running:
+            return
+        self.session.configure(
+            MONITOR_EVENTS,
+            interval=self.config.sampling_interval,
+            dear_min_latency=self.config.dear_latency_floor,
+            overhead_cycles=self.config.sample_overhead_cycles,
+        )
+        self.session.set_listener(self._on_signal)
+        self._running = True
+
+    def stop(self) -> None:
+        if self._running:
+            self.session.stop()
+            self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _on_signal(self, sample: Sample) -> None:
+        """perfmon signal handler: kernel buffer -> USB."""
+        self.usb.append(sample)
+        self.samples_taken += 1
+        if len(self.usb) > USB_CAPACITY:
+            del self.usb[: len(self.usb) - USB_CAPACITY]
+
+    def drain(self) -> list[Sample]:
+        """Hand all buffered samples to the profiler."""
+        out = self.usb
+        self.usb = []
+        return out

@@ -1,0 +1,213 @@
+"""The optimization thread (paper §3.2).
+
+"The optimization thread orchestrates the overall initialization, trace
+selection, optimization, and trace cache management.  Notably, there is
+only one optimization thread ... this design choice simplifies its
+implementation, and enables centralized control over multiple
+monitoring threads."
+
+The thread wakes every ``optimize_interval`` aggregate retired
+instructions, drains all User Sampling Buffers into the system
+profiler, and — when the system-wide coherent ratio warrants it —
+selects one hot loop, decides an optimization, and deploys a rewritten
+trace.  One deployment per wake-up keeps before/after attribution clean
+for the rollback check (re-adaptation): if the windowed system CPI
+degrades after a deployment, the deployment is reverted and the loop
+blacklisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CobraConfig
+from ..cpu.machine import Machine
+from ..errors import TraceCacheError
+from ..isa.binary import BinaryImage
+from .monitor import MonitoringThread
+from .opts import make_noprefetch_rewrite
+from .opts.excl import associate_stored_streams, make_excl_rewrite
+from .policy import Decision, decide
+from .profiler import SystemProfiler
+from .tracecache import Deployment, TraceCache
+from .tracesel import select_loop_traces
+
+__all__ = ["OptimizationThread", "OptEvent"]
+
+
+@dataclass(frozen=True)
+class OptEvent:
+    """One logged optimizer action."""
+
+    retired: int
+    kind: str          # "deploy" | "rollback" | "skip"
+    loop_head: int | None
+    optimization: str | None
+    reason: str
+
+
+@dataclass
+class _Window:
+    cycles: int
+    retired: int
+
+    def cpi(self, machine: Machine) -> float:
+        dc = machine.total_cycles() - self.cycles
+        dr = machine.total_retired() - self.retired
+        return dc / dr if dr > 0 else 0.0
+
+
+class OptimizationThread:
+    """Centralized optimizer over all monitoring threads."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        program: BinaryImage,
+        monitors: list[MonitoringThread],
+        trace_cache: TraceCache,
+        config: CobraConfig,
+        strategy: str = "adaptive",
+    ) -> None:
+        self.machine = machine
+        self.program = program
+        self.monitors = monitors
+        self.trace_cache = trace_cache
+        self.config = config
+        self.strategy = strategy
+        self.profiler = SystemProfiler(config)
+        self.events: list[OptEvent] = []
+        self.blacklist: set[int] = set()
+        self._last_wake = 0
+        # (deployment, CPI before, wakes left before judging)
+        self._pending_eval: tuple[Deployment, float, int] | None = None
+        self._window = _Window(machine.total_cycles(), machine.total_retired())
+        # recent per-window CPIs; deployment needs a warm, phase-averaged
+        # baseline (the first windows are cold-miss-inflated)
+        self._cpi_history: list[float] = []
+
+    # -- scheduler hook ---------------------------------------------------------
+
+    def tick(self) -> None:
+        """Called between scheduling slices; cheap until the wake point."""
+        retired = self.machine.total_retired()
+        if retired - self._last_wake < self.config.optimize_interval:
+            return
+        self._last_wake = retired
+        self.wake()
+
+    # -- one optimizer wake-up -----------------------------------------------------
+
+    def wake(self) -> None:
+        self.profiler.ingest(self.monitors)
+        retired = self.machine.total_retired()
+
+        # evaluate the previous deployment's effect (re-adaptation):
+        # the after-CPI is phase-averaged over several windows, because
+        # one window may cover different program regions than another
+        if self._pending_eval is not None and self.config.enable_rollback:
+            deployment, before_cpi, wakes_left = self._pending_eval
+            if wakes_left > 0:
+                self._pending_eval = (deployment, before_cpi, wakes_left - 1)
+                return
+            after_cpi = self._window.cpi(self.machine)
+            self._pending_eval = None
+            if before_cpi > 0 and after_cpi > before_cpi * 1.03:
+                self.trace_cache.rollback(self.program, deployment)
+                self.blacklist.add(deployment.loop.head)
+                self.events.append(
+                    OptEvent(
+                        retired,
+                        "rollback",
+                        deployment.loop.head,
+                        deployment.optimization,
+                        f"CPI {before_cpi:.2f} -> {after_cpi:.2f} after deployment",
+                    )
+                )
+            else:
+                self._cpi_history.append(after_cpi)
+
+        window_cpi = self._window.cpi(self.machine)
+        self._cpi_history.append(window_cpi)
+        del self._cpi_history[:-4]
+
+        ratio = self.profiler.coherent_ratio()
+
+        # continuous re-adaptation: a deployment is only justified while
+        # coherent traffic dominates; when the program enters a phase
+        # where it no longer does (e.g. the working set outgrew the
+        # caches), revert — without blacklisting, so the optimization
+        # can come back if the earlier behaviour returns.
+        if ratio < self.config.coherent_ratio_threshold:
+            for deployment in list(self.trace_cache.deployments):
+                if not deployment.active:
+                    continue
+                self.trace_cache.rollback(self.program, deployment)
+                self.events.append(
+                    OptEvent(
+                        retired,
+                        "rollback",
+                        deployment.loop.head,
+                        deployment.optimization,
+                        f"coherent ratio fell to {ratio:.2f}: phase change",
+                    )
+                )
+
+        traces = select_loop_traces(self.profiler, self.program)
+        deployed = False
+        warm = len(self._cpi_history) >= 3
+        for trace in traces:
+            if trace.head in self.blacklist or self.trace_cache.is_deployed(trace.head):
+                continue
+            decision: Decision = decide(trace, self.strategy, self.config, ratio)
+            if decision.optimization is None:
+                self.events.append(
+                    OptEvent(retired, "skip", trace.head, None, decision.reason)
+                )
+                continue
+            if not warm:
+                self.events.append(
+                    OptEvent(retired, "skip", trace.head, decision.optimization,
+                             "profile not warm yet")
+                )
+                continue
+            if decision.optimization == "noprefetch":
+                rewrite = make_noprefetch_rewrite()
+            else:
+                # .excl only on prefetches feeding stored streams (§4)
+                selection = associate_stored_streams(self.program, trace)
+                if selection is not None and not selection:
+                    self.events.append(
+                        OptEvent(retired, "skip", trace.head, "excl",
+                                 "no store-associated prefetch in loop")
+                    )
+                    continue
+                rewrite = make_excl_rewrite(selection)
+            history = self._cpi_history[-3:]
+            before_cpi = sum(history) / len(history)
+            try:
+                deployment = self.trace_cache.deploy(
+                    self.program, trace, rewrite, decision.optimization
+                )
+            except TraceCacheError as exc:
+                self.events.append(
+                    OptEvent(retired, "skip", trace.head, decision.optimization, str(exc))
+                )
+                continue
+            self.events.append(
+                OptEvent(
+                    retired, "deploy", trace.head, decision.optimization, decision.reason
+                )
+            )
+            self._pending_eval = (deployment, before_cpi, 2)
+            deployed = True
+            break  # one deployment per wake-up
+
+        del deployed
+        self._window = _Window(self.machine.total_cycles(), self.machine.total_retired())
+        self.profiler.new_window()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def deployments(self) -> list[Deployment]:
+        return [d for d in self.trace_cache.deployments if d.active]

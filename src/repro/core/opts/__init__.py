@@ -1,0 +1,13 @@
+"""COBRA's dynamic optimizations: prefetch rewrites (paper §4, §5.2)."""
+
+from .bias import find_rmw_load_regs, make_bias_rewrite
+from .excl import associate_stored_streams, make_excl_rewrite
+from .noprefetch import make_noprefetch_rewrite
+
+__all__ = [
+    "make_noprefetch_rewrite",
+    "make_excl_rewrite",
+    "associate_stored_streams",
+    "make_bias_rewrite",
+    "find_rmw_load_regs",
+]

@@ -1,0 +1,94 @@
+"""System-wide profile aggregation (paper §3.2, §4).
+
+The profiler merges the User Sampling Buffers of all monitoring threads
+into
+
+* a system-wide *coherent-access ratio* — the sum of coherent bus
+  events divided by all bus transactions, computed from the sampled
+  counter deltas ("If we divide the sum of coherent bus events by the
+  total number of bus transactions, we could estimate the ratio of
+  coherent memory accesses", §4);
+* a latency-filtered miss profile per instruction (``MissProfile``);
+* a branch-trace history per thread for loop discovery.
+
+Decisions are taken on profiles "collected from multiple threads to
+determine if a system-wide optimization is warranted" (§1) — a single
+thread's noisy view never triggers a rewrite by itself.
+"""
+
+from __future__ import annotations
+
+from ..config import CobraConfig
+from ..hpm.sample import Sample
+from .filters import MissProfile
+from .monitor import MonitoringThread
+
+__all__ = ["SystemProfiler"]
+
+
+class SystemProfiler:
+    """Aggregates profiles across all monitoring threads."""
+
+    def __init__(self, config: CobraConfig) -> None:
+        self.config = config
+        self.misses = MissProfile(config)
+        self.btb_pairs: dict[tuple[int, int], int] = {}
+        self.samples_seen = 0
+        # last counter snapshot per thread: (bus_memory, hit, hitm, inval)
+        self._last_counters: dict[int, tuple[int, int, int, int]] = {}
+        self._bus_delta = 0
+        self._coherent_delta = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest(self, monitors: list[MonitoringThread]) -> int:
+        """Drain all USBs; return the number of samples folded in."""
+        n = 0
+        for monitor in monitors:
+            for sample in monitor.drain():
+                self._ingest_sample(sample)
+                n += 1
+        return n
+
+    def _ingest_sample(self, sample: Sample) -> None:
+        self.samples_seen += 1
+        self.misses.add_sample(sample)
+        for pair in sample.btb:
+            self.btb_pairs[pair] = self.btb_pairs.get(pair, 0) + 1
+        prev = self._last_counters.get(sample.thread_id)
+        cur = sample.counters
+        if prev is not None:
+            dbus = cur[0] - prev[0]
+            dcoh = (cur[1] - prev[1]) + (cur[2] - prev[2]) + (cur[3] - prev[3])
+            if dbus >= 0 and dcoh >= 0:
+                self._bus_delta += dbus
+                self._coherent_delta += dcoh
+        self._last_counters[sample.thread_id] = cur
+
+    # -- queries ---------------------------------------------------------------
+
+    def coherent_ratio(self) -> float:
+        """System-wide coherent bus events / bus transactions."""
+        if self._bus_delta == 0:
+            return 0.0
+        return self._coherent_delta / self._bus_delta
+
+    def backward_branches(self) -> list[tuple[tuple[int, int], int]]:
+        """(branch, target) pairs with target <= branch, by frequency."""
+        loops = [
+            (pair, count)
+            for pair, count in self.btb_pairs.items()
+            if pair[1] <= pair[0]
+        ]
+        loops.sort(key=lambda item: item[1], reverse=True)
+        return loops
+
+    def new_window(self, decay: float = 0.5) -> None:
+        """Age profiles between optimizer wake-ups (re-adaptation)."""
+        self.misses.decay(decay)
+        for pair in list(self.btb_pairs):
+            self.btb_pairs[pair] = int(self.btb_pairs[pair] * decay)
+            if self.btb_pairs[pair] == 0:
+                del self.btb_pairs[pair]
+        self._bus_delta = int(self._bus_delta * decay)
+        self._coherent_delta = int(self._coherent_delta * decay)

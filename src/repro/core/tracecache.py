@@ -1,0 +1,142 @@
+"""Trace cache and code deployment (paper §1, §3).
+
+"Optimized binary traces are stored in a trace cache in the same
+address space as the binary program being optimized.  The binary
+program is then patched and redirected to the optimized traces during
+the execution."
+
+Deployment protocol (safe under concurrent execution):
+
+1. the loop body is copied into the trace cache and the rewrites are
+   applied to the *copy*; loop-internal branch targets are remapped;
+2. an exit branch back to the instruction after the original loop is
+   appended;
+3. the original loop-head bundle is atomically replaced by a single
+   branch to the trace.  A thread still running inside the original
+   body finishes its iteration, takes the back branch to the head, and
+   lands in the trace; since the trace's first bundle is a copy of the
+   original head, no instruction is lost.  Register state (rotation,
+   LC/EC, predicates) is position-compatible because the trace is a
+   structural copy.
+
+Rollback restores the original head bundle from the patch journal
+(re-adaptation, §1 "Continuous Binary Re-Adaptation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import TraceCacheError
+from ..isa.binary import BinaryImage, Patch
+from ..isa.bundle import BUNDLE_BYTES, Bundle
+from ..isa.instructions import Instruction, Op, nop
+from .tracesel import LoopTrace
+
+__all__ = ["TraceCache", "Deployment"]
+
+#: Base address of the trace cache segment.
+TRACE_BASE = 0x5000_0000
+
+
+@dataclass
+class Deployment:
+    """One deployed optimized trace."""
+
+    loop: LoopTrace
+    entry: int                  # trace-cache address of the optimized body
+    optimization: str
+    head_patch: Patch           # journal entry for the redirection patch
+    n_rewrites: int
+    active: bool = True
+
+
+class TraceCache:
+    """Holds optimized traces; performs deployment and rollback."""
+
+    def __init__(self, capacity_bundles: int = 4096) -> None:
+        self.image = BinaryImage(TRACE_BASE)
+        self.capacity = capacity_bundles
+        self.deployments: list[Deployment] = []
+
+    @property
+    def used_bundles(self) -> int:
+        return len(self.image)
+
+    def is_deployed(self, head: int) -> bool:
+        return any(d.active and d.loop.head == head for d in self.deployments)
+
+    def overlaps_active(self, head: int, end: int) -> bool:
+        """Would a [head, end] deployment overlap an active one?"""
+        return any(
+            d.active and head <= d.loop.end_bundle and d.loop.head <= end
+            for d in self.deployments
+        )
+
+    def deploy(
+        self,
+        program: BinaryImage,
+        loop: LoopTrace,
+        rewrite: Callable[[Instruction], Instruction | None],
+        optimization: str,
+    ) -> Deployment:
+        """Copy, rewrite, and redirect one loop; return the deployment.
+
+        ``rewrite`` maps each instruction to a replacement (or ``None``
+        to keep it).  The rewrite count is recorded for reporting.
+        """
+        if self.overlaps_active(loop.head, loop.end_bundle):
+            raise TraceCacheError(
+                f"loop [{loop.head:#x}, {loop.end_bundle:#x}] overlaps an active trace"
+            )
+        n_bundles = loop.n_bundles + 1  # + exit branch bundle
+        if self.used_bundles + n_bundles > self.capacity:
+            raise TraceCacheError(
+                f"trace cache full ({self.used_bundles}/{self.capacity} bundles)"
+            )
+
+        entry = self.image.here()
+        offset = entry - loop.head
+        lo, hi = loop.head, loop.end_bundle
+        n_rewrites = 0
+
+        addr = lo
+        while addr <= hi:
+            bundle = program.fetch_bundle(addr)
+            new_slots = []
+            for instr in bundle.slots:
+                replacement = rewrite(instr)
+                if replacement is not None and replacement != instr:
+                    n_rewrites += 1
+                    instr = replacement
+                if instr.is_branch and isinstance(instr.imm, int) and lo <= instr.imm <= hi:
+                    # loop-internal target: remap into the trace cache
+                    instr = instr.clone(imm=instr.imm + offset)
+                new_slots.append(instr)
+            self.image.append(Bundle(new_slots, bundle.template))
+            addr += BUNDLE_BYTES
+
+        # exit branch: fall-through out of the loop returns to the program
+        exit_target = hi + BUNDLE_BYTES
+        self.image.append(
+            Bundle([nop("M"), nop("I"), Instruction(Op.BR, imm=exit_target, unit="B")])
+        )
+
+        # atomic redirection: one bundle replaced by a branch to the trace
+        redirect = Bundle(
+            [nop("M"), nop("I"), Instruction(Op.BR, imm=entry, unit="B")]
+        )
+        program.patch_bundle(loop.head, redirect, reason=f"cobra:{optimization}")
+        head_patch = program.patches[-1]
+
+        deployment = Deployment(loop, entry, optimization, head_patch, n_rewrites)
+        self.deployments.append(deployment)
+        return deployment
+
+    def rollback(self, program: BinaryImage, deployment: Deployment) -> None:
+        """Undo a deployment (the trace becomes unreachable)."""
+        if not deployment.active:
+            raise TraceCacheError("deployment already rolled back")
+        program.revert_patch(deployment.head_patch)
+        deployment.active = False

@@ -1,0 +1,7 @@
+"""Simulated CPUs: interpreter cores, machine builders, scheduling."""
+
+from .core import Core
+from .machine import Machine
+from .scheduler import DEFAULT_MARGIN, Scheduler
+
+__all__ = ["Core", "Machine", "Scheduler", "DEFAULT_MARGIN"]

@@ -1,0 +1,471 @@
+"""The interpreter core: one CPU executing bundles with a timing model.
+
+Semantics are IA-64-flavoured: three slots per bundle, qualifying
+predicates, register rotation driven by the modulo-scheduled loop
+branches, non-blocking hinted prefetches, post-increment addressing.
+
+Timing: one cycle per executed bundle plus memory stalls returned by
+the CPU's cache hierarchy.  Absolute cycle counts are not meant to match
+real hardware — every paper result is a normalized ratio (DESIGN.md §5).
+
+PMU hooks kept directly on the core for speed:
+
+* ``retired`` / ``cycles`` — the base counters;
+* ``btb`` — the last four (branch, target) pairs (Branch Trace Buffer);
+* ``dear`` — the most recent data-miss event ``(pc, addr, latency)``
+  whose latency exceeded ``dear_threshold`` (Data Event Address
+  Register with latency filtering, paper §4);
+* ``on_sample`` — callback fired every ``sample_interval`` retired
+  instructions (the perfmon sampling interrupt).  The callback's cost
+  on the monitored thread is charged via ``sample_overhead``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SimulationFault
+from ..isa.binary import BUNDLE_BYTES, BinaryImage
+from ..isa.instructions import Op
+from ..isa.registers import RegisterFile
+from ..memory.dram import MemorySystem
+from ..memory.hierarchy import (
+    ATOMIC,
+    LOAD,
+    LOAD_BIAS,
+    PREFETCH,
+    PREFETCH_EXCL,
+    STORE,
+    CpuCacheSystem,
+)
+
+__all__ = ["Core"]
+
+# opcode constants hoisted for dispatch speed
+_NOP = int(Op.NOP)
+_ADD = int(Op.ADD)
+_ADDI = int(Op.ADDI)
+_SUB = int(Op.SUB)
+_MOV = int(Op.MOV)
+_MOVI = int(Op.MOVI)
+_AND = int(Op.AND)
+_OR = int(Op.OR)
+_XOR = int(Op.XOR)
+_SHL = int(Op.SHL)
+_SHR = int(Op.SHR)
+_SHLADD = int(Op.SHLADD)
+_CMP_LT = int(Op.CMP_LT)
+_CMP_LE = int(Op.CMP_LE)
+_CMP_EQ = int(Op.CMP_EQ)
+_CMP_NE = int(Op.CMP_NE)
+_CMPI_LT = int(Op.CMPI_LT)
+_CMPI_LE = int(Op.CMPI_LE)
+_CMPI_EQ = int(Op.CMPI_EQ)
+_CMPI_NE = int(Op.CMPI_NE)
+_MOV_LC_IMM = int(Op.MOV_LC_IMM)
+_MOV_LC_REG = int(Op.MOV_LC_REG)
+_MOV_EC_IMM = int(Op.MOV_EC_IMM)
+_ALLOC = int(Op.ALLOC)
+_CLRRRB = int(Op.CLRRRB)
+_MOV_PR_ROT = int(Op.MOV_PR_ROT)
+_LD8 = int(Op.LD8)
+_ST8 = int(Op.ST8)
+_LDFD = int(Op.LDFD)
+_STFD = int(Op.STFD)
+_LFETCH = int(Op.LFETCH)
+_FMA = int(Op.FMA)
+_FADD = int(Op.FADD)
+_FSUB = int(Op.FSUB)
+_FMUL = int(Op.FMUL)
+_SETF = int(Op.SETF)
+_GETF = int(Op.GETF)
+_FABS = int(Op.FABS)
+_FMAX = int(Op.FMAX)
+_BR = int(Op.BR)
+_BR_COND = int(Op.BR_COND)
+_BR_CTOP = int(Op.BR_CTOP)
+_BR_CLOOP = int(Op.BR_CLOOP)
+_BR_WTOP = int(Op.BR_WTOP)
+_BR_CALL = int(Op.BR_CALL)
+_BR_RET = int(Op.BR_RET)
+_HALT = int(Op.HALT)
+_FETCHADD8 = int(Op.FETCHADD8)
+
+_BTB_SIZE = 4
+
+
+class Core:
+    """One simulated CPU (and the thread bound to it)."""
+
+    __slots__ = (
+        "cpu_id",
+        "regs",
+        "cache",
+        "mem",
+        "images",
+        "pc",
+        "cycles",
+        "retired",
+        "bundles_executed",
+        "halted",
+        "call_stack",
+        "btb",
+        "dear",
+        "on_sample",
+        "sample_interval",
+        "sample_overhead",
+        "_sample_countdown",
+        "taken_branches",
+        "bundles_per_cycle",
+        "_issue_tick",
+    )
+
+    def __init__(
+        self,
+        cpu_id: int,
+        cache: CpuCacheSystem,
+        mem: MemorySystem,
+        bundles_per_cycle: int = 2,
+    ) -> None:
+        self.cpu_id = cpu_id
+        self.regs = RegisterFile()
+        self.cache = cache
+        self.mem = mem
+        self.images: list[BinaryImage] = []
+        self.pc = 0
+        self.cycles = 0
+        self.retired = 0
+        self.bundles_executed = 0
+        self.halted = True
+        self.call_stack: list[int] = []
+        self.btb: list[tuple[int, int]] = []
+        self.dear: tuple[int, int, int] | None = None
+        self.on_sample: Callable[["Core"], None] | None = None
+        self.sample_interval = 0           # 0 -> sampling off
+        self.sample_overhead = 0
+        self._sample_countdown = 0
+        self.taken_branches = 0
+        # Itanium 2 disperses two bundles per cycle; issue cost is
+        # accounted per bundle pair (memory stalls are charged in full)
+        self.bundles_per_cycle = bundles_per_cycle
+        self._issue_tick = 0
+
+    # -- program control -----------------------------------------------------
+
+    def add_image(self, image: BinaryImage) -> None:
+        if image not in self.images:
+            self.images.append(image)
+
+    def start(self, entry: int) -> None:
+        """Point the core at ``entry`` and mark it runnable."""
+        self.pc = entry
+        self.halted = False
+
+    def enable_sampling(
+        self,
+        interval: int,
+        on_sample: Callable[["Core"], None],
+        overhead: int = 0,
+    ) -> None:
+        self.sample_interval = interval
+        self.on_sample = on_sample
+        self.sample_overhead = overhead
+        self._sample_countdown = interval
+
+    def disable_sampling(self) -> None:
+        self.sample_interval = 0
+        self.on_sample = None
+
+    def _fetch_bundle(self, addr: int):
+        for image in self.images:
+            bundle = image.bundles.get(addr)
+            if bundle is not None:
+                return bundle
+        raise SimulationFault("no code at address", pc=addr, cpu=self.cpu_id)
+
+    def _record_taken(self, branch_pc: int, target: int) -> None:
+        self.taken_branches += 1
+        btb = self.btb
+        btb.append((branch_pc, target))
+        if len(btb) > _BTB_SIZE:
+            del btb[0]
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, max_bundles: int, cycle_limit: int | None = None) -> int:
+        """Execute up to ``max_bundles`` bundles; return how many ran.
+
+        ``cycle_limit`` stops execution once ``self.cycles`` exceeds it —
+        the scheduler uses this to keep all cores' clocks closely
+        synchronized (time-ordered simulation), which is what makes
+        shared-bus queueing physically meaningful.
+        """
+        if self.halted:
+            return 0
+        if cycle_limit is None:
+            cycle_limit = 1 << 62
+        regs = self.regs
+        gr = regs.read_gr
+        grw = regs.write_gr
+        fr = regs.read_fr
+        frw = regs.write_fr
+        prr = regs.read_pr
+        prw = regs.write_pr
+        cache = self.cache
+        cache_access = cache.access
+        mem = self.mem
+        executed = 0
+
+        while executed < max_bundles and self.cycles <= cycle_limit:
+            pc = self.pc
+            bundle = self._fetch_bundle(pc & ~(BUNDLE_BYTES - 1))
+            taken = False
+            stall = 0
+            n_slots = 0
+            for instr in bundle.slots[pc & (BUNDLE_BYTES - 1) :]:
+                op = instr.op
+                n_slots += 1
+                qp = instr.qp
+                if qp and not prr(qp):
+                    # predicated off; br.wtop still evaluates (see below)
+                    if op != _BR_WTOP:
+                        continue
+                if op == _NOP:
+                    continue
+                elif op == _LDFD:
+                    a = gr(instr.r2)
+                    stall += cache_access(self.cycles, a, LOAD)
+                    if cache.dear_pending is not None:
+                        self.dear = (pc + n_slots - 1, a, cache.dear_pending)
+                        cache.dear_pending = None
+                    frw(instr.r1, mem.read_f64(a))
+                    if instr.imm:
+                        grw(instr.r2, a + instr.imm)
+                elif op == _STFD:
+                    a = gr(instr.r2)
+                    stall += cache_access(self.cycles, a, STORE)
+                    if cache.dear_pending is not None:
+                        self.dear = (pc + n_slots - 1, a, cache.dear_pending)
+                        cache.dear_pending = None
+                    mem.write_f64(a, fr(instr.r3))
+                    if instr.imm:
+                        grw(instr.r2, a + instr.imm)
+                elif op == _LFETCH:
+                    a = gr(instr.r2)
+                    cache_access(
+                        self.cycles, a, PREFETCH_EXCL if instr.excl else PREFETCH
+                    )
+                    if instr.imm:
+                        grw(instr.r2, a + instr.imm)
+                elif op == _FMA:
+                    frw(instr.r1, fr(instr.r2) * fr(instr.r3) + fr(instr.r4))
+                elif op == _ADD:
+                    grw(instr.r1, gr(instr.r2) + gr(instr.r3))
+                elif op == _ADDI:
+                    grw(instr.r1, gr(instr.r2) + instr.imm)
+                elif op == _LD8:
+                    a = gr(instr.r2)
+                    stall += cache_access(
+                        self.cycles, a, LOAD_BIAS if instr.excl else LOAD
+                    )
+                    if cache.dear_pending is not None:
+                        self.dear = (pc + n_slots - 1, a, cache.dear_pending)
+                        cache.dear_pending = None
+                    grw(instr.r1, mem.read_i64(a))
+                    if instr.imm:
+                        grw(instr.r2, a + instr.imm)
+                elif op == _ST8:
+                    a = gr(instr.r2)
+                    stall += cache_access(self.cycles, a, STORE)
+                    if cache.dear_pending is not None:
+                        self.dear = (pc + n_slots - 1, a, cache.dear_pending)
+                        cache.dear_pending = None
+                    mem.write_i64(a, gr(instr.r3))
+                    if instr.imm:
+                        grw(instr.r2, a + instr.imm)
+                elif op == _BR_CTOP:
+                    if regs.lc > 0:
+                        regs.lc -= 1
+                        regs.rotate()
+                        prw(16, True)
+                        taken = True
+                    elif regs.ec > 1:
+                        regs.ec -= 1
+                        regs.rotate()
+                        prw(16, False)
+                        taken = True
+                    else:
+                        if regs.ec > 0:
+                            regs.ec -= 1
+                        regs.rotate()
+                        prw(16, False)
+                    if taken:
+                        self.pc = instr.imm
+                        self._record_taken(pc + n_slots - 1, instr.imm)
+                        break
+                elif op == _BR_CLOOP:
+                    if regs.lc > 0:
+                        regs.lc -= 1
+                        self.pc = instr.imm
+                        taken = True
+                        self._record_taken(pc + n_slots - 1, instr.imm)
+                        break
+                elif op == _BR_WTOP:
+                    # qp is the *branch* predicate here, not a guard
+                    if prr(qp):
+                        regs.rotate()
+                        prw(16, False)
+                        taken = True
+                    elif regs.ec > 1:
+                        regs.ec -= 1
+                        regs.rotate()
+                        prw(16, False)
+                        taken = True
+                    else:
+                        if regs.ec > 0:
+                            regs.ec -= 1
+                        regs.rotate()
+                        prw(16, False)
+                    if taken:
+                        self.pc = instr.imm
+                        self._record_taken(pc + n_slots - 1, instr.imm)
+                        break
+                elif op == _BR_COND:
+                    # guard already passed (qp true) -> taken
+                    self.pc = instr.imm
+                    taken = True
+                    self._record_taken(pc + n_slots - 1, instr.imm)
+                    break
+                elif op == _BR:
+                    self.pc = instr.imm
+                    taken = True
+                    self._record_taken(pc + n_slots - 1, instr.imm)
+                    break
+                elif op == _CMP_LT:
+                    c = gr(instr.r3) < gr(instr.r4)
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMP_LE:
+                    c = gr(instr.r3) <= gr(instr.r4)
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMP_EQ:
+                    c = gr(instr.r3) == gr(instr.r4)
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMP_NE:
+                    c = gr(instr.r3) != gr(instr.r4)
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMPI_LT:
+                    c = gr(instr.r3) < instr.imm
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMPI_LE:
+                    c = gr(instr.r3) <= instr.imm
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMPI_EQ:
+                    c = gr(instr.r3) == instr.imm
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _CMPI_NE:
+                    c = gr(instr.r3) != instr.imm
+                    prw(instr.r1, c)
+                    prw(instr.r2, not c)
+                elif op == _MOV:
+                    grw(instr.r1, gr(instr.r2))
+                elif op == _MOVI:
+                    grw(instr.r1, instr.imm)
+                elif op == _SUB:
+                    grw(instr.r1, gr(instr.r2) - gr(instr.r3))
+                elif op == _AND:
+                    grw(instr.r1, gr(instr.r2) & gr(instr.r3))
+                elif op == _OR:
+                    grw(instr.r1, gr(instr.r2) | gr(instr.r3))
+                elif op == _XOR:
+                    grw(instr.r1, gr(instr.r2) ^ gr(instr.r3))
+                elif op == _SHL:
+                    grw(instr.r1, gr(instr.r2) << instr.imm)
+                elif op == _SHR:
+                    grw(instr.r1, gr(instr.r2) >> instr.imm)
+                elif op == _SHLADD:
+                    grw(instr.r1, (gr(instr.r2) << instr.imm) + gr(instr.r3))
+                elif op == _FADD:
+                    frw(instr.r1, fr(instr.r2) + fr(instr.r3))
+                elif op == _FSUB:
+                    frw(instr.r1, fr(instr.r2) - fr(instr.r3))
+                elif op == _FMUL:
+                    frw(instr.r1, fr(instr.r2) * fr(instr.r3))
+                elif op == _FABS:
+                    frw(instr.r1, abs(fr(instr.r2)))
+                elif op == _FMAX:
+                    frw(instr.r1, max(fr(instr.r2), fr(instr.r3)))
+                elif op == _SETF:
+                    frw(instr.r1, float(gr(instr.r2)))
+                elif op == _GETF:
+                    grw(instr.r1, int(fr(instr.r2)))
+                elif op == _FETCHADD8:
+                    a = gr(instr.r2)
+                    stall += cache_access(self.cycles, a, ATOMIC)
+                    old = mem.read_i64(a)
+                    mem.write_i64(a, old + instr.imm)
+                    grw(instr.r1, old)
+                elif op == _MOV_LC_IMM:
+                    regs.lc = instr.imm
+                elif op == _MOV_LC_REG:
+                    regs.lc = gr(instr.r2)
+                elif op == _MOV_EC_IMM:
+                    regs.ec = instr.imm
+                elif op == _ALLOC:
+                    regs.alloc_rotating(instr.imm)
+                elif op == _MOV_PR_ROT:
+                    mask = int(instr.imm)
+                    for i in range(16, 64):
+                        regs.pr[i] = bool(mask & (1 << i))
+                    # note: writes physical rotating predicates (rrb-independent
+                    # only when rrb is 0, which is how compilers use it)
+                elif op == _CLRRRB:
+                    regs.clear_rrb()
+                elif op == _BR_CALL:
+                    self.call_stack.append((pc & ~(BUNDLE_BYTES - 1)) + BUNDLE_BYTES)
+                    self.pc = instr.imm
+                    taken = True
+                    self._record_taken(pc + n_slots - 1, instr.imm)
+                    break
+                elif op == _BR_RET:
+                    if not self.call_stack:
+                        raise SimulationFault("br.ret with empty call stack", pc=pc, cpu=self.cpu_id)
+                    self.pc = self.call_stack.pop()
+                    taken = True
+                    self._record_taken(pc + n_slots - 1, self.pc)
+                    break
+                elif op == _HALT:
+                    self.halted = True
+                    self.retired += n_slots
+                    self.cycles += 1 + stall
+                    self.bundles_executed += 1
+                    return executed + 1
+                else:  # pragma: no cover - defensive
+                    raise SimulationFault(f"illegal opcode {op}", pc=pc, cpu=self.cpu_id)
+
+            if not taken:
+                self.pc = (pc & ~(BUNDLE_BYTES - 1)) + BUNDLE_BYTES
+            self.retired += n_slots
+            self._issue_tick += 1
+            if self._issue_tick >= self.bundles_per_cycle:
+                self._issue_tick = 0
+                self.cycles += 1 + stall
+            else:
+                self.cycles += stall
+            self.bundles_executed += 1
+            executed += 1
+
+            if self.sample_interval:
+                self._sample_countdown -= n_slots
+                if self._sample_countdown <= 0:
+                    self._sample_countdown = self.sample_interval
+                    self.cycles += self.sample_overhead
+                    self.on_sample(self)  # type: ignore[misc]
+
+        return executed

@@ -1,0 +1,89 @@
+"""Machine assembly: cores + cache hierarchies + fabric + memory.
+
+``Machine.from_config`` builds either platform from a
+:class:`~repro.config.MachineConfig`:
+
+* single-node configs get a :class:`~repro.memory.bus.SnoopBus` (the
+  4-way Itanium 2 SMP server);
+* multi-node configs get a :class:`~repro.memory.directory.DirectoryFabric`
+  (the SGI Altix cc-NUMA system) with first-touch page placement.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import MachineError
+from ..isa.binary import BinaryImage
+from ..memory.bus import SnoopBus
+from ..memory.directory import DirectoryFabric
+from ..memory.dram import MemorySystem
+from ..memory.events import MemEvents
+from ..memory.hierarchy import CpuCacheSystem
+from .core import Core
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One simulated multiprocessor."""
+
+    def __init__(self, config: MachineConfig, memory_bytes: int = 8 << 20) -> None:
+        self.config = config
+        self.mem = MemorySystem(memory_bytes)
+        if config.is_numa:
+            self.fabric = DirectoryFabric(
+                config.n_nodes, config.bus, config.latency, self.mem
+            )
+        else:
+            self.fabric = SnoopBus(config.bus, config.latency)
+        self.caches = [
+            CpuCacheSystem(cpu, cpu // config.cpus_per_node, config, self.fabric)
+            for cpu in range(config.n_cpus)
+        ]
+        self.cores = [Core(cpu, self.caches[cpu], self.mem) for cpu in range(config.n_cpus)]
+        self._next_text = 0x4000_0000
+
+    @classmethod
+    def from_config(cls, config: MachineConfig, memory_bytes: int = 8 << 20) -> "Machine":
+        return cls(config, memory_bytes)
+
+    @property
+    def n_cpus(self) -> int:
+        return self.config.n_cpus
+
+    def node_of(self, cpu: int) -> int:
+        return cpu // self.config.cpus_per_node
+
+    # -- code ------------------------------------------------------------------
+
+    def next_text_base(self, reserve: int = 1 << 20) -> int:
+        """Hand out a disjoint text segment (programs must not overlap)."""
+        base = self._next_text
+        self._next_text += reserve
+        return base
+
+    def load_image(self, image: BinaryImage) -> None:
+        """Make ``image`` fetchable by every core (shared address space)."""
+        for core in self.cores:
+            core.add_image(image)
+
+    # -- aggregate observables ----------------------------------------------------
+
+    def total_cycles(self) -> int:
+        """Wall-clock proxy: the cycle count of the slowest core."""
+        return max(core.cycles for core in self.cores)
+
+    def total_retired(self) -> int:
+        return sum(core.retired for core in self.cores)
+
+    def aggregate_events(self) -> MemEvents:
+        """System-wide memory-event totals (COBRA's profiler input)."""
+        total = MemEvents()
+        for cache in self.caches:
+            total.add(cache.events)
+        return total
+
+    def events_of(self, cpu: int) -> MemEvents:
+        if not 0 <= cpu < self.n_cpus:
+            raise MachineError(f"no cpu {cpu}")
+        return self.caches[cpu].events

@@ -1,0 +1,98 @@
+"""Time-ordered interleaved execution of multiple cores.
+
+The simulator is sequential, so concurrency is modeled conservatively:
+the core with the *smallest cycle count* executes until its clock
+passes the second-smallest clock (plus a small margin).  All cores'
+clocks therefore stay within roughly one memory stall of each other,
+which is what makes shared-resource effects — bus queueing, coherence
+ping-pong, barrier spinning — physically meaningful.  (A fixed
+bundle-count quantum is *wrong* here: it lets the leader ratchet the
+bus ``busy_until`` to its own miss-inflated clock and charges laggards
+the gap as phantom queueing delay.)
+
+``on_tick`` callbacks run between scheduling slices — COBRA's
+optimization thread lives there: it is not a simulated core (the paper
+runs it on spare capacity; DESIGN.md §6), but it observes and patches
+the machine while the worker threads execute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import MachineError
+from .core import Core
+
+__all__ = ["Scheduler", "DEFAULT_MARGIN"]
+
+#: Extra cycles the running core may advance past the runner-up clock.
+#: One bus occupancy keeps interleaving tight without thrashing.
+DEFAULT_MARGIN = 16
+
+#: Upper bound on bundles per slice (guards spin loops from starving
+#: the tick hooks).
+_SLICE_BUNDLES = 512
+
+
+class Scheduler:
+    """Min-clock time-ordered scheduler."""
+
+    def __init__(self, cores: Iterable[Core], margin: int = DEFAULT_MARGIN) -> None:
+        self.cores = list(cores)
+        if not self.cores:
+            raise MachineError("scheduler needs at least one core")
+        self.margin = margin
+        self.on_tick: list[Callable[[], None]] = []
+
+    def add_tick_hook(self, hook: Callable[[], None]) -> None:
+        self.on_tick.append(hook)
+
+    def _slice(self) -> int:
+        """Run one scheduling slice; return bundles executed (0 = done)."""
+        lowest: Core | None = None
+        second = None
+        for core in self.cores:
+            if core.halted:
+                continue
+            if lowest is None or core.cycles < lowest.cycles:
+                second = lowest.cycles if lowest is not None else None
+                lowest = core
+            elif second is None or core.cycles < second:
+                second = core.cycles
+        if lowest is None:
+            return 0
+        limit = (second if second is not None else lowest.cycles + 100_000) + self.margin
+        ran = lowest.run(_SLICE_BUNDLES, cycle_limit=limit)
+        if ran == 0 and not lowest.halted:
+            # guarantee forward progress even if already past the limit
+            ran = lowest.run(1)
+        return ran
+
+    def run_until_halt(self, max_bundles: int | None = None) -> int:
+        """Run all cores to completion; return total bundles executed.
+
+        ``max_bundles`` bounds total work (guards against livelock in
+        tests); exceeding it raises :class:`MachineError`.
+        """
+        budget = max_bundles if max_bundles is not None else 1 << 62
+        total = 0
+        while True:
+            ran = self._slice()
+            if ran == 0:
+                return total
+            total += ran
+            if total > budget:
+                raise MachineError(
+                    f"execution exceeded {budget} bundles (livelock or runaway loop?)"
+                )
+            for hook in self.on_tick:
+                hook()
+
+    def step(self) -> bool:
+        """Advance one slice; return False when all cores have halted."""
+        ran = self._slice()
+        if ran == 0:
+            return False
+        for hook in self.on_tick:
+            hook()
+        return True

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the COBRA reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Subsystems raise the
+most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level errors (encoding, registers, bundles)."""
+
+
+class AssemblyError(IsaError):
+    """Raised when assembly text cannot be parsed into instructions."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class RegisterError(IsaError):
+    """Raised on an out-of-range or ill-typed register access."""
+
+
+class BundleError(IsaError):
+    """Raised when instructions cannot be packed into a legal bundle."""
+
+
+class BinaryError(IsaError):
+    """Raised on malformed binary images or illegal patches."""
+
+
+class MemoryError_(ReproError):
+    """Raised on invalid simulated memory operations.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class MachineError(ReproError):
+    """Raised on machine construction or execution faults."""
+
+
+class SimulationFault(MachineError):
+    """Raised when a simulated core faults (bad PC, illegal instruction)."""
+
+    def __init__(self, message: str, pc: int | None = None, cpu: int | None = None) -> None:
+        self.pc = pc
+        self.cpu = cpu
+        prefix = ""
+        if cpu is not None:
+            prefix += f"cpu {cpu}: "
+        if pc is not None:
+            prefix += f"pc {pc:#x}: "
+        super().__init__(prefix + message)
+
+
+class HpmError(ReproError):
+    """Raised on invalid performance-monitoring configuration."""
+
+
+class RuntimeError_(ReproError):
+    """Raised by the simulated threading / OpenMP runtime.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`RuntimeError`.
+    """
+
+
+class CompilerError(ReproError):
+    """Raised when kernel IR cannot be lowered to machine code."""
+
+
+class CobraError(ReproError):
+    """Raised by the COBRA framework (trace cache, optimizer, deployment)."""
+
+
+class TraceCacheError(CobraError):
+    """Raised when the trace cache is exhausted or a patch is illegal."""
+
+
+class WorkloadError(ReproError):
+    """Raised on invalid workload parameters."""

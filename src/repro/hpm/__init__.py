@@ -1,0 +1,27 @@
+"""Simulated hardware performance monitoring (Itanium 2 PMU model).
+
+Four programmable counters, the Branch Trace Buffer, latency-filtered
+Data Event Address Registers, and a perfmon-like sampling driver — the
+profile sources COBRA's monitoring threads consume.
+"""
+
+from .btb import BTB_PAIRS, BranchTraceBuffer
+from .counters import N_COUNTERS, PerformanceCounters
+from .dear import DataEventAddressRegister, DearRecord
+from .events import PmuEvent, read_event
+from .perfmon import PerfmonDriver, PerfmonSession
+from .sample import Sample
+
+__all__ = [
+    "BranchTraceBuffer",
+    "BTB_PAIRS",
+    "PerformanceCounters",
+    "N_COUNTERS",
+    "DataEventAddressRegister",
+    "DearRecord",
+    "PmuEvent",
+    "read_event",
+    "PerfmonDriver",
+    "PerfmonSession",
+    "Sample",
+]

@@ -1,0 +1,59 @@
+"""Programmable performance counters (four per CPU, as on Itanium 2)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import HpmError
+from .events import PmuEvent, read_event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpu.core import Core
+
+__all__ = ["PerformanceCounters", "N_COUNTERS"]
+
+N_COUNTERS = 4
+
+
+class PerformanceCounters:
+    """Four programmable counters over one core's event sources.
+
+    Counters are virtualized on top of the simulator's free-running
+    totals: programming or resetting a counter records the current total
+    as its base.
+    """
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        self._events: list[PmuEvent | None] = [None] * N_COUNTERS
+        self._base: list[int] = [0] * N_COUNTERS
+
+    def program(self, index: int, event: PmuEvent) -> None:
+        """Bind ``event`` to counter ``index`` and zero it."""
+        if not 0 <= index < N_COUNTERS:
+            raise HpmError(f"counter index {index} out of range")
+        self._events[index] = event
+        self._base[index] = read_event(self.core, event)
+
+    def event_of(self, index: int) -> PmuEvent | None:
+        return self._events[index]
+
+    def read(self, index: int) -> int:
+        """Current value of counter ``index`` since it was programmed."""
+        event = self._events[index]
+        if event is None:
+            raise HpmError(f"counter {index} not programmed")
+        return read_event(self.core, event) - self._base[index]
+
+    def reset(self, index: int) -> None:
+        event = self._events[index]
+        if event is None:
+            raise HpmError(f"counter {index} not programmed")
+        self._base[index] = read_event(self.core, event)
+
+    def read_all(self) -> tuple[int, int, int, int]:
+        """Snapshot of all four counters (unprogrammed read as 0)."""
+        out = []
+        for i in range(N_COUNTERS):
+            out.append(self.read(i) if self._events[i] is not None else 0)
+        return tuple(out)  # type: ignore[return-value]

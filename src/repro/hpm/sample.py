@@ -1,0 +1,44 @@
+"""Sample records delivered by the perfmon driver.
+
+The paper (§3.1) specifies the sample layout: "Each sample consists of a
+sample index, Program Counter (PC) address, process ID, thread ID,
+processor ID, four performance counters, eight BTB entries, data cache
+miss instruction address, miss latency, and miss data cache line
+address."  ``Sample`` carries exactly those fields (the eight BTB
+entries are the four (branch, target) pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.address import LINE_SHIFT
+
+__all__ = ["Sample"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One HPM sample from one monitored thread."""
+
+    index: int
+    pc: int
+    pid: int
+    thread_id: int
+    cpu_id: int
+    counters: tuple[int, int, int, int]
+    btb: tuple[tuple[int, int], ...]
+    miss_pc: int | None
+    miss_latency: int | None
+    miss_addr: int | None
+    cycles: int
+
+    @property
+    def miss_line(self) -> int | None:
+        """Data cache line address of the captured miss (paper field)."""
+        if self.miss_addr is None:
+            return None
+        return self.miss_addr >> LINE_SHIFT
+
+    def has_miss(self) -> bool:
+        return self.miss_pc is not None

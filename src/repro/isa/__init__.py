@@ -1,0 +1,36 @@
+"""IA-64-like instruction set: registers, instructions, bundles, binaries.
+
+The ISA layer is the substrate COBRA rewrites: it provides real
+instruction semantics (predication, register rotation, modulo-scheduled
+loop branches, hinted prefetches) plus patchable binary images, an
+assembler, and a disassembler that mirrors the paper's Figure 2 syntax.
+"""
+
+from .binary import BinaryImage, Patch, pc_bundle, pc_slot
+from .bundle import BUNDLE_BYTES, SLOTS_PER_BUNDLE, Bundle
+from .instructions import BRANCH_OPS, LOOP_BRANCH_OPS, MEMORY_OPS, Instruction, Op, nop
+from .registers import RegisterFile
+from .assembler import assemble, parse_instruction
+from .disassembler import disassemble, format_bundle, format_instruction
+
+__all__ = [
+    "BinaryImage",
+    "Patch",
+    "pc_bundle",
+    "pc_slot",
+    "Bundle",
+    "BUNDLE_BYTES",
+    "SLOTS_PER_BUNDLE",
+    "Instruction",
+    "Op",
+    "nop",
+    "MEMORY_OPS",
+    "BRANCH_OPS",
+    "LOOP_BRANCH_OPS",
+    "RegisterFile",
+    "assemble",
+    "parse_instruction",
+    "disassemble",
+    "format_bundle",
+    "format_instruction",
+]

@@ -1,0 +1,326 @@
+"""A small assembler for the simulated ISA.
+
+Accepts the same textual syntax the disassembler emits (which follows
+the paper's Figure 2), so `assemble(disassemble(img))` round-trips.
+Intended for tests, examples, and hand-written micro-kernels; the
+compiler builds :class:`~repro.isa.instructions.Instruction` objects
+directly.
+
+Supported forms::
+
+    .b1_22:                         // label (bundle-aligned)
+    { .mmb                          // explicit bundle
+      (p16) ldfd f38=[r33]
+      (p16) lfetch.nt1 [r43]
+      nop.b 0 ;;
+    }
+    add r41=16,r43                  // loose instructions are packed
+    br.ctop.sptk .b1_22             // greedily, 3 per bundle
+
+Loose instructions are packed three to a bundle; a label or a branch
+flushes the current bundle (labels must land on bundle boundaries).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from .binary import BinaryImage
+from .bundle import Bundle
+from .instructions import Instruction, Op
+
+__all__ = ["assemble", "parse_instruction"]
+
+_LABEL_RE = re.compile(r"^([.\w$]+):$")
+_PRED_RE = re.compile(r"^\((p\d+)\)\s+(.*)$")
+_REG_RE = re.compile(r"^([rfp])(\d+)$")
+
+_CMP_OPS = {
+    "lt": (Op.CMP_LT, Op.CMPI_LT),
+    "le": (Op.CMP_LE, Op.CMPI_LE),
+    "eq": (Op.CMP_EQ, Op.CMPI_EQ),
+    "ne": (Op.CMP_NE, Op.CMPI_NE),
+}
+
+_BR_OPS = {"cond": Op.BR_COND, "ctop": Op.BR_CTOP, "cloop": Op.BR_CLOOP, "wtop": Op.BR_WTOP}
+
+
+def _reg(token: str, kind: str, line: int) -> int:
+    m = _REG_RE.match(token.strip())
+    if not m or m.group(1) != kind:
+        raise AssemblyError(f"expected {kind}-register, got {token!r}", line)
+    return int(m.group(2))
+
+
+def _int(token: str, line: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer {token!r}", line) from None
+
+
+def _split_eq(body: str, line: int) -> tuple[str, str]:
+    if "=" not in body:
+        raise AssemblyError(f"expected '=' in {body!r}", line)
+    lhs, rhs = body.split("=", 1)
+    return lhs.strip(), rhs.strip()
+
+
+def _mem_operand(token: str, line: int) -> tuple[int, int]:
+    """Parse ``[rN]`` or ``[rN],imm`` -> (address register, post-inc)."""
+    token = token.strip()
+    m = re.match(r"^\[(r\d+)\](?:,(.+))?$", token)
+    if not m:
+        raise AssemblyError(f"bad memory operand {token!r}", line)
+    addr = _reg(m.group(1), "r", line)
+    inc = _int(m.group(2), line) if m.group(2) else 0
+    return addr, inc
+
+
+def _store_source(token: str, line: int) -> tuple[str, int]:
+    """Parse a store's ``rN`` or ``rN,imm`` source (post-increment form)."""
+    if "," in token:
+        src, inc = token.split(",", 1)
+        return src.strip(), _int(inc, line)
+    return token.strip(), 0
+
+
+def parse_instruction(text: str, line: int = 0) -> Instruction:
+    """Parse one instruction (with optional ``(pN)`` prefix)."""
+    text = text.strip()
+    qp = 0
+    m = _PRED_RE.match(text)
+    if m:
+        qp = int(m.group(1)[1:])
+        text = m.group(2).strip()
+    if text.endswith(";;"):
+        text = text[:-2].strip()
+
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    body = parts[1].strip() if len(parts) > 1 else ""
+    dots = mnemonic.split(".")
+    name = dots[0]
+
+    if name == "nop":
+        unit = dots[1].upper() if len(dots) > 1 else "I"
+        return Instruction(Op.NOP, qp=qp, unit=unit)
+    if name == "halt":
+        return Instruction(Op.HALT, qp=qp, unit="B")
+    if name == "clrrrb":
+        return Instruction(Op.CLRRRB, qp=qp)
+    if name == "alloc":
+        lhs, rhs = _split_eq(body, line)
+        if lhs != "rot":
+            raise AssemblyError(f"alloc expects rot=<n>, got {body!r}", line)
+        return Instruction(Op.ALLOC, qp=qp, imm=_int(rhs, line))
+    if name in ("add", "adds"):
+        lhs, rhs = _split_eq(body, line)
+        dest = _reg(lhs, "r", line)
+        a, b = (s.strip() for s in rhs.split(","))
+        if a.startswith("r"):
+            return Instruction(Op.ADD, qp=qp, r1=dest, r2=_reg(a, "r", line), r3=_reg(b, "r", line))
+        return Instruction(Op.ADDI, qp=qp, r1=dest, imm=_int(a, line), r2=_reg(b, "r", line))
+    if name == "sub":
+        lhs, rhs = _split_eq(body, line)
+        a, b = (s.strip() for s in rhs.split(","))
+        return Instruction(Op.SUB, qp=qp, r1=_reg(lhs, "r", line), r2=_reg(a, "r", line), r3=_reg(b, "r", line))
+    if name in ("and", "or", "xor"):
+        lhs, rhs = _split_eq(body, line)
+        a, b = (s.strip() for s in rhs.split(","))
+        op = {"and": Op.AND, "or": Op.OR, "xor": Op.XOR}[name]
+        return Instruction(op, qp=qp, r1=_reg(lhs, "r", line), r2=_reg(a, "r", line), r3=_reg(b, "r", line))
+    if name in ("shl", "shr"):
+        lhs, rhs = _split_eq(body, line)
+        a, b = (s.strip() for s in rhs.split(","))
+        op = Op.SHL if name == "shl" else Op.SHR
+        return Instruction(op, qp=qp, r1=_reg(lhs, "r", line), r2=_reg(a, "r", line), imm=_int(b, line))
+    if name == "shladd":
+        lhs, rhs = _split_eq(body, line)
+        a, b, c = (s.strip() for s in rhs.split(","))
+        return Instruction(
+            Op.SHLADD, qp=qp, r1=_reg(lhs, "r", line), r2=_reg(a, "r", line),
+            imm=_int(b, line), r3=_reg(c, "r", line),
+        )
+    if name in ("mov", "movl"):
+        lhs, rhs = _split_eq(body, line)
+        if lhs == "ar.lc":
+            if rhs.startswith("r"):
+                return Instruction(Op.MOV_LC_REG, qp=qp, r2=_reg(rhs, "r", line))
+            return Instruction(Op.MOV_LC_IMM, qp=qp, imm=_int(rhs, line))
+        if lhs == "ar.ec":
+            return Instruction(Op.MOV_EC_IMM, qp=qp, imm=_int(rhs, line))
+        if lhs == "pr.rot":
+            return Instruction(Op.MOV_PR_ROT, qp=qp, imm=_int(rhs, line))
+        if lhs.startswith("f"):
+            # pseudo: mov fX=fY -> fadd fX=fY,f0 ; mov fX=0 -> fadd fX=f0,f0
+            dest = _reg(lhs, "f", line)
+            if rhs.startswith("f") and _REG_RE.match(rhs):
+                return Instruction(Op.FADD, qp=qp, r1=dest, r2=_reg(rhs, "f", line), r3=0)
+            if _int(rhs, line) == 0:
+                return Instruction(Op.FADD, qp=qp, r1=dest, r2=0, r3=0)
+            raise AssemblyError("mov fX=<imm> only supports 0 (use setf)", line)
+        dest = _reg(lhs, "r", line)
+        if rhs.startswith("r") and _REG_RE.match(rhs):
+            return Instruction(Op.MOV, qp=qp, r1=dest, r2=_reg(rhs, "r", line))
+        return Instruction(Op.MOVI, qp=qp, r1=dest, imm=_int(rhs, line))
+    if name == "cmp":
+        if len(dots) < 2 or dots[1] not in _CMP_OPS:
+            raise AssemblyError(f"unknown compare {mnemonic!r}", line)
+        reg_op, imm_op = _CMP_OPS[dots[1]]
+        lhs, rhs = _split_eq(body, line)
+        pt, pf = (s.strip() for s in lhs.split(","))
+        a, b = (s.strip() for s in rhs.split(","))
+        common = dict(qp=qp, r1=_reg(pt, "p", line), r2=_reg(pf, "p", line), r3=_reg(a, "r", line))
+        if b.startswith("r") and _REG_RE.match(b):
+            return Instruction(reg_op, r4=_reg(b, "r", line), **common)
+        return Instruction(imm_op, imm=_int(b, line), **common)
+    if name == "ld8":
+        lhs, rhs = _split_eq(body, line)
+        addr, inc = _mem_operand(rhs, line)
+        return Instruction(
+            Op.LD8, qp=qp, r1=_reg(lhs, "r", line), r2=addr, imm=inc,
+            excl=("bias" in dots), unit="M",
+        )
+    if name == "fetchadd8":
+        lhs, rhs = _split_eq(body, line)
+        addr, inc = _mem_operand(rhs, line)
+        return Instruction(Op.FETCHADD8, qp=qp, r1=_reg(lhs, "r", line), r2=addr, imm=inc, unit="M")
+    if name == "st8":
+        lhs, rhs = _split_eq(body, line)
+        addr, _ = _mem_operand(lhs, line)
+        src, inc = _store_source(rhs, line)
+        return Instruction(Op.ST8, qp=qp, r2=addr, r3=_reg(src, "r", line), imm=inc, unit="M")
+    if name == "ldfd":
+        lhs, rhs = _split_eq(body, line)
+        addr, inc = _mem_operand(rhs, line)
+        return Instruction(Op.LDFD, qp=qp, r1=_reg(lhs, "f", line), r2=addr, imm=inc, unit="M")
+    if name == "stfd":
+        lhs, rhs = _split_eq(body, line)
+        addr, _ = _mem_operand(lhs, line)
+        src, inc = _store_source(rhs, line)
+        return Instruction(Op.STFD, qp=qp, r2=addr, r3=_reg(src, "f", line), imm=inc, unit="M")
+    if name == "lfetch":
+        addr, inc = _mem_operand(body, line)
+        hint = next((d for d in dots[1:] if d in ("nt1", "nt2", "nta")), None)
+        return Instruction(
+            Op.LFETCH, qp=qp, r2=addr, imm=inc, hint=hint, excl=("excl" in dots), unit="M",
+        )
+    if name in ("fma", "fadd", "fsub", "fmul", "fmax", "fabs"):
+        lhs, rhs = _split_eq(body, line)
+        dest = _reg(lhs, "f", line)
+        srcs = [_reg(s, "f", line) for s in rhs.split(",")]
+        if name == "fma":
+            return Instruction(Op.FMA, qp=qp, r1=dest, r2=srcs[0], r3=srcs[1], r4=srcs[2])
+        if name == "fabs":
+            return Instruction(Op.FABS, qp=qp, r1=dest, r2=srcs[0])
+        op = {"fadd": Op.FADD, "fsub": Op.FSUB, "fmul": Op.FMUL, "fmax": Op.FMAX}[name]
+        return Instruction(op, qp=qp, r1=dest, r2=srcs[0], r3=srcs[1])
+    if name == "setf":
+        lhs, rhs = _split_eq(body, line)
+        return Instruction(Op.SETF, qp=qp, r1=_reg(lhs, "f", line), r2=_reg(rhs, "r", line))
+    if name == "getf":
+        lhs, rhs = _split_eq(body, line)
+        return Instruction(Op.GETF, qp=qp, r1=_reg(lhs, "r", line), r2=_reg(rhs, "f", line))
+    if name == "br":
+        hint = dots[2] if len(dots) > 2 else None
+
+        def target_kwargs(text: str) -> dict:
+            try:
+                return {"imm": int(text, 0)}
+            except ValueError:
+                return {"label": text or None}
+
+        if len(dots) == 1:
+            return Instruction(Op.BR, qp=qp, unit="B", **target_kwargs(body))
+        kind = dots[1]
+        if kind == "call":
+            return Instruction(Op.BR_CALL, qp=qp, unit="B", **target_kwargs(body))
+        if kind == "ret":
+            return Instruction(Op.BR_RET, qp=qp, unit="B")
+        if kind in _BR_OPS:
+            return Instruction(
+                _BR_OPS[kind], qp=qp, hint=hint, unit="B", **target_kwargs(body)
+            )
+        raise AssemblyError(f"unknown branch {mnemonic!r}", line)
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line)
+
+
+def _pad_bundle(instrs: list[Instruction]) -> Bundle:
+    from .instructions import nop
+
+    slots = list(instrs)
+    if slots and slots[-1].is_branch:
+        # keep the branch in the last slot (IA-64 .mib/.mmb convention)
+        while len(slots) < 3:
+            slots.insert(len(slots) - 1, nop("M" if len(slots) == 1 else "I"))
+    else:
+        while len(slots) < 3:
+            slots.append(nop("I"))
+    return Bundle(slots)
+
+
+def assemble(text: str, base: int | None = None) -> BinaryImage:
+    """Assemble source text into a linked :class:`BinaryImage`."""
+    image = BinaryImage() if base is None else BinaryImage(base)
+    pending: list[Instruction] = []
+    in_bundle = False
+    bundle_slots: list[Instruction] = []
+    bundle_template: str | None = None
+
+    def flush() -> None:
+        while pending:
+            chunk, rest = pending[:3], pending[3:]
+            # keep a branch (or halt) in the last slot of its bundle
+            for i, ins in enumerate(chunk[:-1]):
+                if ins.is_branch or ins.op is Op.HALT:
+                    chunk, rest = chunk[: i + 1], chunk[i + 1 :] + rest
+                    break
+            image.append(_pad_bundle(chunk))
+            pending[:] = rest
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        code = raw.split("//", 1)[0].strip()
+        # tolerate disassembler output: strip a leading address column
+        m = re.match(r"^0x[0-9a-fA-F]+\s+(.*)$", code)
+        if m:
+            code = m.group(1).strip()
+        if not code:
+            continue
+        if code.startswith("{"):
+            if in_bundle:
+                raise AssemblyError("nested bundle", lineno)
+            flush()
+            in_bundle = True
+            bundle_slots = []
+            rest = code[1:].strip()
+            bundle_template = rest[1:] if rest.startswith(".") else None
+            continue
+        if code == "}":
+            if not in_bundle:
+                raise AssemblyError("unmatched '}'", lineno)
+            if len(bundle_slots) != 3:
+                raise AssemblyError(f"bundle has {len(bundle_slots)} slots", lineno)
+            image.append(Bundle(bundle_slots, bundle_template))
+            in_bundle = False
+            continue
+        m = _LABEL_RE.match(code)
+        if m:
+            if in_bundle:
+                raise AssemblyError("label inside bundle", lineno)
+            flush()
+            image.mark(m.group(1))
+            continue
+        instr = parse_instruction(code, lineno)
+        if in_bundle:
+            bundle_slots.append(instr)
+        else:
+            pending.append(instr)
+            if instr.is_branch or instr.op is Op.HALT:
+                flush()
+    if in_bundle:
+        raise AssemblyError("unterminated bundle")
+    flush()
+    image.link()
+    return image

@@ -1,0 +1,158 @@
+"""Textual disassembly in the paper's (IA-64 assembly) style.
+
+``format_bundle`` reproduces the layout of the paper's Figure 2::
+
+    { .mmb
+      (p16) ldfd f38=[r33]
+      (p16) lfetch.nt1 [r43]
+      nop.b 0 ;;
+    }
+"""
+
+from __future__ import annotations
+
+from .bundle import Bundle
+from .instructions import Instruction, Op
+
+__all__ = ["format_instruction", "format_bundle", "disassemble"]
+
+_CMP_SUFFIX = {
+    Op.CMP_LT: "lt", Op.CMPI_LT: "lt",
+    Op.CMP_LE: "le", Op.CMPI_LE: "le",
+    Op.CMP_EQ: "eq", Op.CMPI_EQ: "eq",
+    Op.CMP_NE: "ne", Op.CMPI_NE: "ne",
+}
+
+
+def _postinc(instr: Instruction) -> str:
+    return f",{instr.imm}" if instr.imm else ""
+
+
+def _target(instr: Instruction) -> str:
+    if instr.label is not None:
+        return instr.label
+    return f"{int(instr.imm):#x}"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction without its qualifying-predicate prefix."""
+    op = instr.op
+    if op is Op.NOP:
+        return f"nop.{instr.unit.lower()} 0"
+    if op is Op.ADD:
+        return f"add r{instr.r1}=r{instr.r2},r{instr.r3}"
+    if op is Op.ADDI:
+        return f"add r{instr.r1}={instr.imm},r{instr.r2}"
+    if op is Op.SUB:
+        return f"sub r{instr.r1}=r{instr.r2},r{instr.r3}"
+    if op is Op.MOV:
+        return f"mov r{instr.r1}=r{instr.r2}"
+    if op is Op.MOVI:
+        return f"mov r{instr.r1}={instr.imm}"
+    if op in (Op.AND, Op.OR, Op.XOR):
+        return f"{op.name.lower()} r{instr.r1}=r{instr.r2},r{instr.r3}"
+    if op is Op.SHL:
+        return f"shl r{instr.r1}=r{instr.r2},{instr.imm}"
+    if op is Op.SHR:
+        return f"shr r{instr.r1}=r{instr.r2},{instr.imm}"
+    if op is Op.SHLADD:
+        return f"shladd r{instr.r1}=r{instr.r2},{instr.imm},r{instr.r3}"
+    if op in (Op.CMP_LT, Op.CMP_LE, Op.CMP_EQ, Op.CMP_NE):
+        return f"cmp.{_CMP_SUFFIX[op]} p{instr.r1},p{instr.r2}=r{instr.r3},r{instr.r4}"
+    if op in (Op.CMPI_LT, Op.CMPI_LE, Op.CMPI_EQ, Op.CMPI_NE):
+        return f"cmp.{_CMP_SUFFIX[op]} p{instr.r1},p{instr.r2}=r{instr.r3},{instr.imm}"
+    if op is Op.MOV_LC_IMM:
+        return f"mov ar.lc={instr.imm}"
+    if op is Op.MOV_LC_REG:
+        return f"mov ar.lc=r{instr.r2}"
+    if op is Op.MOV_EC_IMM:
+        return f"mov ar.ec={instr.imm}"
+    if op is Op.ALLOC:
+        return f"alloc rot={instr.imm}"
+    if op is Op.CLRRRB:
+        return "clrrrb"
+    if op is Op.MOV_PR_ROT:
+        return f"mov pr.rot={int(instr.imm):#x}"
+    if op is Op.FETCHADD8:
+        return f"fetchadd8 r{instr.r1}=[r{instr.r2}],{instr.imm}"
+    if op is Op.LD8:
+        mnem = "ld8.bias" if instr.excl else "ld8"
+        return f"{mnem} r{instr.r1}=[r{instr.r2}]{_postinc(instr)}"
+    if op is Op.ST8:
+        return f"st8 [r{instr.r2}]=r{instr.r3}{_postinc(instr)}"
+    if op is Op.LDFD:
+        return f"ldfd f{instr.r1}=[r{instr.r2}]{_postinc(instr)}"
+    if op is Op.STFD:
+        return f"stfd [r{instr.r2}]=f{instr.r3}{_postinc(instr)}"
+    if op is Op.LFETCH:
+        mnem = "lfetch"
+        if instr.excl:
+            mnem += ".excl"
+        if instr.hint:
+            mnem += f".{instr.hint}"
+        return f"{mnem} [r{instr.r2}]{_postinc(instr)}"
+    if op is Op.FMA:
+        return f"fma.d f{instr.r1}=f{instr.r2},f{instr.r3},f{instr.r4}"
+    if op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FMAX):
+        return f"{op.name.lower()}.d f{instr.r1}=f{instr.r2},f{instr.r3}"
+    if op is Op.FABS:
+        return f"fabs f{instr.r1}=f{instr.r2}"
+    if op is Op.SETF:
+        return f"setf.d f{instr.r1}=r{instr.r2}"
+    if op is Op.GETF:
+        return f"getf.d r{instr.r1}=f{instr.r2}"
+    if op is Op.BR:
+        return f"br {_target(instr)}"
+    if op is Op.BR_COND:
+        return f"br.cond.{instr.hint or 'sptk'} {_target(instr)}"
+    if op is Op.BR_CTOP:
+        return f"br.ctop.{instr.hint or 'sptk'} {_target(instr)}"
+    if op is Op.BR_CLOOP:
+        return f"br.cloop.{instr.hint or 'sptk'} {_target(instr)}"
+    if op is Op.BR_WTOP:
+        return f"br.wtop.{instr.hint or 'sptk'} {_target(instr)}"
+    if op is Op.BR_CALL:
+        return f"br.call {_target(instr)}"
+    if op is Op.BR_RET:
+        return "br.ret"
+    if op is Op.HALT:
+        return "halt"
+    raise AssertionError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+
+def format_predicated(instr: Instruction) -> str:
+    """Instruction text with its ``(pN)`` prefix when predicated."""
+    text = format_instruction(instr)
+    return f"(p{instr.qp}) {text}" if instr.qp else text
+
+
+def format_bundle(bundle: Bundle, indent: str = "  ") -> str:
+    """Multi-line rendering of one bundle, Figure-2 style."""
+    lines = [f"{{ .{bundle.template}"]
+    for i, instr in enumerate(bundle.slots):
+        stop = " ;;" if i == len(bundle.slots) - 1 else ""
+        lines.append(f"{indent}{format_predicated(instr)}{stop}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def disassemble(image, start: int | None = None, end: int | None = None) -> str:
+    """Disassemble an address range of a :class:`BinaryImage`.
+
+    Labels from the image's symbol table are interleaved at their
+    addresses.
+    """
+    by_addr: dict[int, list[str]] = {}
+    for name, addr in image.labels.items():
+        by_addr.setdefault(addr, []).append(name)
+    out: list[str] = []
+    for addr, bundle in image.iter_bundles():
+        if start is not None and addr < start:
+            continue
+        if end is not None and addr >= end:
+            continue
+        for name in by_addr.get(addr, ()):
+            out.append(f"{name}:")
+        body = format_bundle(bundle)
+        out.append(f"{addr:#010x}  " + body.replace("\n", f"\n{'':12}"))
+    return "\n".join(out)

@@ -1,0 +1,145 @@
+"""Snooping front-side bus with MESI coherence (the SMP fabric).
+
+All CPUs of the 4-way Itanium 2 server share one bus.  Every miss,
+read-for-ownership, upgrade, and writeback is a bus transaction that
+
+* occupies the bus for ``occupancy_data`` or ``occupancy_ctrl`` cycles
+  (queueing delay emerges from the ``busy_until`` bookkeeping — this is
+  how aggressive prefetching by one CPU slows the others down), and
+* snoops every other CPU's cache, producing the coherent bus events the
+  paper's profiler watches (``BUS_RD_HIT``, ``BUS_RD_HITM``,
+  ``BUS_RD_INVAL``).
+
+The bus returns ``(stall_latency, install_state)`` to the requesting
+cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import BusConfig, LatencyConfig
+from .coherence import EXCLUSIVE, MODIFIED, SHARED
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hierarchy import CpuCacheSystem
+
+__all__ = ["SnoopBus"]
+
+
+class SnoopBus:
+    """One shared bus; also usable as the intra-node bus of a NUMA node."""
+
+    def __init__(self, config: BusConfig, latency: LatencyConfig) -> None:
+        self.config = config
+        self.latency = latency
+        self.caches: list["CpuCacheSystem"] = []
+        self.busy_until = 0
+        self.total_transactions = 0
+        self.total_queue_cycles = 0
+
+    def attach(self, cache: "CpuCacheSystem") -> None:
+        self.caches.append(cache)
+
+    # -- arbitration ---------------------------------------------------
+
+    def _acquire(self, now: int, occupancy: int) -> int:
+        """Reserve the bus at ``now``; return the queueing delay."""
+        start = self.busy_until if self.busy_until > now else now
+        self.busy_until = start + occupancy
+        self.total_transactions += 1
+        wait = start - now
+        self.total_queue_cycles += wait
+        return wait
+
+    # -- transactions ----------------------------------------------------
+
+    def read(self, now: int, requester: "CpuCacheSystem", line: int) -> tuple[int, int, int]:
+        """Shared read (load or plain lfetch miss).
+
+        Returns ``(queue_wait, latency, state)`` where ``state`` is the
+        MESI state the requester installs: E if no other cache held the
+        line, else S.  The wait and latency are split so the hierarchy
+        can charge prefetches their bus-bandwidth cost without the data
+        latency (prefetches are non-blocking).
+        """
+        lat = self.latency
+        ev = requester.events
+        wait = self._acquire(now, self.config.occupancy_data)
+        ev.bus_memory += 1
+        hitm = False
+        shared = False
+        for cache in self.caches:
+            if cache is requester:
+                continue
+            resp = cache.snoop_read(line)
+            if resp == MODIFIED:
+                hitm = True
+            elif resp:
+                shared = True
+        if hitm:
+            ev.bus_rd_hitm += 1
+            ev.coherent_misses += 1
+            return wait, lat.cache_to_cache, SHARED
+        if shared:
+            ev.bus_rd_hit += 1
+            return wait, lat.memory, SHARED
+        return wait, lat.memory, EXCLUSIVE
+
+    def read_excl(self, now: int, requester: "CpuCacheSystem", line: int) -> tuple[int, int, int]:
+        """Read-for-ownership (store miss, or lfetch.excl miss).
+
+        Returns ``(queue_wait, latency, state)``.  All other copies are
+        invalidated; the requester installs M.
+        """
+        lat = self.latency
+        ev = requester.events
+        wait = self._acquire(now, self.config.occupancy_data)
+        ev.bus_memory += 1
+        hitm = False
+        invalidated = False
+        for cache in self.caches:
+            if cache is requester:
+                continue
+            resp = cache.snoop_invalidate(line)
+            if resp == MODIFIED:
+                hitm = True
+            elif resp:
+                invalidated = True
+        if hitm:
+            ev.bus_rd_inval_hitm += 1
+            ev.bus_rd_inval += 1
+            ev.coherent_misses += 1
+            return wait, lat.cache_to_cache, MODIFIED
+        if invalidated:
+            ev.bus_rd_inval += 1
+            ev.coherent_misses += 1
+        return wait, lat.memory, MODIFIED
+
+    def upgrade(self, now: int, requester: "CpuCacheSystem", line: int) -> tuple[int, int]:
+        """Ownership upgrade for a store hitting a SHARED line.
+
+        Returns ``(queue_wait, latency)``.
+        """
+        ev = requester.events
+        wait = self._acquire(now, self.config.occupancy_ctrl)
+        ev.bus_memory += 1
+        ev.upgrades += 1
+        invalidated = False
+        for cache in self.caches:
+            if cache is not requester:
+                if cache.snoop_invalidate(line):
+                    invalidated = True
+        if invalidated:
+            ev.bus_rd_inval += 1
+            ev.coherent_misses += 1
+            return wait, self.latency.upgrade
+        return wait, self.latency.upgrade_quiet
+
+    def writeback(self, now: int, requester: "CpuCacheSystem", line: int) -> int:
+        """Dirty L3 eviction to memory (posted; small drain cost)."""
+        ev = requester.events
+        self._acquire(now, self.config.occupancy_data)
+        ev.bus_memory += 1
+        ev.writebacks += 1
+        return self.latency.writeback

@@ -1,0 +1,80 @@
+"""Set-associative cache tag array with LRU replacement.
+
+This class tracks only *presence* (which line ids are cached and in
+which set); the MESI state of a line lives in the owning
+:class:`~repro.memory.hierarchy.CpuCacheSystem`, because on Itanium 2
+the L2 and L3 of one CPU hold a line in a single coherence state.
+
+Dicts preserve insertion order, so each set is a dict used as an LRU
+queue: a hit re-inserts the line at the back; the victim is the front.
+"""
+
+from __future__ import annotations
+
+from ..config import CacheConfig
+
+__all__ = ["CacheArray"]
+
+
+class CacheArray:
+    """Tags of one cache level, LRU per set, keyed by line id."""
+
+    __slots__ = ("n_sets", "associativity", "_sets", "_present")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.n_sets = config.n_sets
+        self.associativity = config.associativity
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self.n_sets)]
+        self._present: set[int] = set()
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._present
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def touch(self, line: int) -> bool:
+        """LRU-promote ``line``; return whether it was present."""
+        if line not in self._present:
+            return False
+        s = self._sets[line % self.n_sets]
+        del s[line]
+        s[line] = None
+        return True
+
+    def insert(self, line: int) -> int | None:
+        """Insert ``line``; return the evicted line id, if any.
+
+        Inserting a line that is already present just LRU-promotes it
+        and evicts nothing.
+        """
+        s = self._sets[line % self.n_sets]
+        if line in self._present:
+            del s[line]
+            s[line] = None
+            return None
+        victim: int | None = None
+        if len(s) >= self.associativity:
+            victim = next(iter(s))
+            del s[victim]
+            self._present.discard(victim)
+        s[line] = None
+        self._present.add(line)
+        return victim
+
+    def remove(self, line: int) -> bool:
+        """Drop ``line`` (invalidation); return whether it was present."""
+        if line not in self._present:
+            return False
+        del self._sets[line % self.n_sets][line]
+        self._present.discard(line)
+        return True
+
+    def lines(self) -> set[int]:
+        """Snapshot of all resident line ids."""
+        return set(self._present)
+
+    def clear(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self._present.clear()

@@ -1,0 +1,186 @@
+"""Directory-based cc-NUMA fabric (the SGI Altix model).
+
+Nodes hold two CPUs on a local front-side bus; nodes are joined by a
+fat-tree interconnect.  Coherence is directory-style: a miss consults
+the home node of the line's page (assigned by first touch, §3.2 of the
+paper) and, when a remote cache owns the line dirty, performs a
+three-hop cache-to-cache transfer.  This is why "the penalty of coherent
+misses is much higher on cc-NUMA machines than that on SMP machines"
+(§5.2.1) — and why COBRA's optimizations gain more on the Altix.
+
+The directory content is derived by querying the attached cache
+hierarchies (the simulator is sequential, so the query is exact); the
+*latency* model follows the protocol message flow:
+
+* local clean miss: ``memory``;
+* remote clean miss: ``remote_memory`` (requester -> home -> requester);
+* dirty in a cache on the requester's node: ``cache_to_cache``;
+* dirty in a remote cache: ``remote_cache_to_cache``;
+* invalidations crossing the interconnect add ``interconnect_hop`` each.
+
+Bus occupancy is charged on the requester's node bus and, when
+different, the home node bus, so heavy prefetch traffic from one node
+delays the other nodes' demand misses at their shared home memories.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import BusConfig, LatencyConfig
+from .address import LINE_SHIFT
+from .coherence import EXCLUSIVE, MODIFIED, SHARED
+from .dram import MemorySystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hierarchy import CpuCacheSystem
+
+__all__ = ["DirectoryFabric"]
+
+
+class DirectoryFabric:
+    """Coherent fabric for multi-node machines."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: BusConfig,
+        latency: LatencyConfig,
+        memory: MemorySystem,
+    ) -> None:
+        self.n_nodes = n_nodes
+        self.config = config
+        self.latency = latency
+        self.memory = memory
+        self.caches: list["CpuCacheSystem"] = []
+        self._busy = [0] * n_nodes
+        self.total_transactions = 0
+        self.total_queue_cycles = 0
+
+    def attach(self, cache: "CpuCacheSystem") -> None:
+        if cache.node_id >= self.n_nodes:
+            raise ValueError(f"cpu {cache.cpu_id} on unknown node {cache.node_id}")
+        self.caches.append(cache)
+
+    # -- node-bus arbitration ------------------------------------------------
+
+    def _acquire(self, node: int, now: int, occupancy: int) -> int:
+        busy = self._busy[node]
+        start = busy if busy > now else now
+        self._busy[node] = start + occupancy
+        self.total_transactions += 1
+        wait = start - now
+        self.total_queue_cycles += wait
+        return wait
+
+    def _home(self, requester: "CpuCacheSystem", line: int) -> int:
+        return self.memory.home_node(line << LINE_SHIFT, requester.node_id)
+
+    # -- transactions ----------------------------------------------------------
+
+    def read(self, now: int, requester: "CpuCacheSystem", line: int) -> tuple[int, int, int]:
+        lat = self.latency
+        ev = requester.events
+        home = self._home(requester, line)
+        wait = self._acquire(requester.node_id, now, self.config.occupancy_data)
+        if home != requester.node_id:
+            wait += self._acquire(home, now + wait, self.config.occupancy_data)
+        ev.bus_memory += 1
+
+        owner_node: int | None = None
+        shared = False
+        for cache in self.caches:
+            if cache is requester:
+                continue
+            resp = cache.snoop_read(line)
+            if resp == MODIFIED:
+                owner_node = cache.node_id
+            elif resp:
+                shared = True
+        if owner_node is not None:
+            ev.bus_rd_hitm += 1
+            ev.coherent_misses += 1
+            if owner_node == requester.node_id:
+                return wait, lat.cache_to_cache, SHARED
+            return wait, lat.remote_cache_to_cache, SHARED
+        base = lat.memory if home == requester.node_id else lat.remote_memory
+        if shared:
+            ev.bus_rd_hit += 1
+            return wait, base, SHARED
+        return wait, base, EXCLUSIVE
+
+    def read_excl(self, now: int, requester: "CpuCacheSystem", line: int) -> tuple[int, int, int]:
+        lat = self.latency
+        ev = requester.events
+        home = self._home(requester, line)
+        wait = self._acquire(requester.node_id, now, self.config.occupancy_data)
+        if home != requester.node_id:
+            wait += self._acquire(home, now + wait, self.config.occupancy_data)
+        ev.bus_memory += 1
+
+        owner_node: int | None = None
+        remote_sharer = False
+        local_sharer = False
+        for cache in self.caches:
+            if cache is requester:
+                continue
+            resp = cache.snoop_invalidate(line)
+            if resp == MODIFIED:
+                owner_node = cache.node_id
+            elif resp:
+                if cache.node_id == requester.node_id:
+                    local_sharer = True
+                else:
+                    remote_sharer = True
+        if owner_node is not None:
+            ev.bus_rd_inval += 1
+            ev.bus_rd_inval_hitm += 1
+            ev.coherent_misses += 1
+            if owner_node == requester.node_id:
+                return wait, lat.cache_to_cache, MODIFIED
+            return wait, lat.remote_cache_to_cache, MODIFIED
+        base = lat.memory if home == requester.node_id else lat.remote_memory
+        if remote_sharer or local_sharer:
+            ev.bus_rd_inval += 1
+            ev.coherent_misses += 1
+            if remote_sharer:
+                base += lat.interconnect_hop  # invalidation acks cross the tree
+        return wait, base, MODIFIED
+
+    def upgrade(self, now: int, requester: "CpuCacheSystem", line: int) -> tuple[int, int]:
+        lat = self.latency
+        ev = requester.events
+        home = self._home(requester, line)
+        wait = self._acquire(requester.node_id, now, self.config.occupancy_ctrl)
+        if home != requester.node_id:
+            wait += self._acquire(home, now + wait, self.config.occupancy_ctrl)
+        ev.bus_memory += 1
+        ev.upgrades += 1
+        remote = False
+        invalidated = False
+        for cache in self.caches:
+            if cache is requester:
+                continue
+            if cache.snoop_invalidate(line):
+                invalidated = True
+                if cache.node_id != requester.node_id:
+                    remote = True
+        if invalidated:
+            ev.bus_rd_inval += 1
+            ev.coherent_misses += 1
+            cost = lat.upgrade + (lat.interconnect_hop if remote else 0)
+        else:
+            cost = lat.upgrade_quiet + (
+                lat.interconnect_hop if home != requester.node_id else 0
+            )
+        return wait, cost
+
+    def writeback(self, now: int, requester: "CpuCacheSystem", line: int) -> int:
+        ev = requester.events
+        home = self._home(requester, line)
+        self._acquire(requester.node_id, now, self.config.occupancy_data)
+        if home != requester.node_id:
+            self._acquire(home, now, self.config.occupancy_data)
+        ev.bus_memory += 1
+        ev.writebacks += 1
+        return self.latency.writeback

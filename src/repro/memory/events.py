@@ -1,0 +1,65 @@
+"""Per-CPU memory-system event counters.
+
+These are the raw event sources behind the simulated PMU: the
+:mod:`repro.hpm` layer maps Itanium 2 event names (``BUS_MEMORY``,
+``BUS_RD_HITM``, ...) onto these fields.  Slotted ints keep the hot
+path cheap.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemEvents"]
+
+
+class MemEvents:
+    """Counters for one CPU's memory traffic."""
+
+    __slots__ = (
+        "loads",
+        "stores",
+        "prefetches",
+        "l2_misses",
+        "l3_misses",
+        "l2_writebacks",
+        "writebacks",
+        "bus_memory",
+        "bus_rd_hit",
+        "bus_rd_hitm",
+        "bus_rd_inval",
+        "bus_rd_inval_hitm",
+        "upgrades",
+        "coherent_misses",
+        "invalidations_received",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy all counters into a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def coherent_bus_events(self) -> int:
+        """Snoop responses + invalidations — the paper's numerator for
+        the coherent-access ratio (§4)."""
+        return self.bus_rd_hit + self.bus_rd_hitm + self.bus_rd_inval
+
+    def coherent_ratio(self) -> float:
+        """Coherent bus events / all bus transactions (paper §4)."""
+        if self.bus_memory == 0:
+            return 0.0
+        return self.coherent_bus_events() / self.bus_memory
+
+    def add(self, other: "MemEvents") -> None:
+        """Accumulate ``other`` into ``self`` (system-wide aggregation)."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def delta(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Difference between the current counters and a snapshot."""
+        return {name: getattr(self, name) - earlier[name] for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"<MemEvents {inner}>"

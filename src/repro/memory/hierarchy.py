@@ -1,0 +1,310 @@
+"""Per-CPU cache hierarchy (private L2 + L3, one MESI state per line).
+
+On Itanium 2 both the 256 KB L2 and the 3 MB L3 are private, and a line
+is held by a CPU in a single coherence state, so the hierarchy keeps
+
+* ``state`` — line id -> MESI state (absence = Invalid),
+* ``l2`` / ``l3`` — tag arrays with ``l2 ⊆ l3`` (inclusion, enforced on
+  every eviction and invalidation),
+* ``l2_dirty`` — lines whose L2 copy is ahead of L3 (their L2 eviction
+  is a dirty drain, the paper's "writebacks in L2").
+
+``access`` returns the stall cycles charged to the issuing instruction:
+loads stall for the full miss latency, stores are buffered
+(``store_factor``), prefetches never stall (their cost is bus occupancy
+and the coherence side effects they trigger).
+
+``lfetch.excl`` allocates the line in E and marks it for *cast-out*:
+its eviction writes back even if it was never stored to.  This models
+the paper's observation that exclusive prefetching "could increase the
+number of writebacks in L2 [and] result in longer latency for the store
+instructions" while keeping the line coherence-clean, so the upgrades it
+performs on behalf of later stores happen in the background.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import LatencyConfig, MachineConfig
+from .address import LINE_SHIFT
+from .cache import CacheArray
+from .coherence import EXCLUSIVE, MODIFIED, SHARED
+from .events import MemEvents
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .bus import SnoopBus
+
+__all__ = ["CpuCacheSystem", "LOAD", "STORE", "PREFETCH", "PREFETCH_EXCL", "LOAD_BIAS", "ATOMIC"]
+
+LOAD = 0
+STORE = 1
+PREFETCH = 2
+PREFETCH_EXCL = 3
+LOAD_BIAS = 4
+ATOMIC = 5
+
+
+class CpuCacheSystem:
+    """All cache state of one CPU, attached to a coherent fabric."""
+
+    __slots__ = (
+        "cpu_id",
+        "node_id",
+        "l2",
+        "l3",
+        "state",
+        "l2_dirty",
+        "excl_alloc",
+        "events",
+        "fabric",
+        "lat",
+        "_sf",
+        "_occ_data",
+        "_occ_ctrl",
+        "dear_threshold",
+        "dear_pending",
+    )
+
+    def __init__(self, cpu_id: int, node_id: int, config: MachineConfig, fabric) -> None:
+        self.cpu_id = cpu_id
+        self.node_id = node_id
+        self.l2 = CacheArray(config.l2)
+        self.l3 = CacheArray(config.l3)
+        self.state: dict[int, int] = {}
+        self.l2_dirty: set[int] = set()
+        # lines allocated by lfetch.excl: cast out (written back) on
+        # eviction even if never stored to — the paper's "increase the
+        # number of writebacks" effect (§2, §4)
+        self.excl_alloc: set[int] = set()
+        self.events = MemEvents()
+        self.fabric = fabric
+        self.lat: LatencyConfig = config.latency
+        self._sf = config.latency.store_factor
+        self._occ_data = config.bus.occupancy_data
+        self._occ_ctrl = config.bus.occupancy_ctrl
+        # DEAR capture: protocol latency of the last qualifying access
+        # (set here because the store-buffered *stall* understates the
+        # latency the PMU reports; the core attaches the faulting PC)
+        self.dear_threshold = 1 << 30
+        self.dear_pending: int | None = None
+        fabric.attach(self)
+
+    # -- main access path ---------------------------------------------------
+
+    def access(self, now: int, addr: int, kind: int) -> int:
+        """Simulate one data access; return stall cycles."""
+        line = addr >> LINE_SHIFT
+        ev = self.events
+        lat = self.lat
+        st = self.state.get(line)
+
+        if kind == LOAD:
+            ev.loads += 1
+            if st is not None:
+                if self.l2.touch(line):
+                    return lat.l2_hit
+                ev.l2_misses += 1
+                return lat.l3_hit + self._promote(line)
+            ev.l2_misses += 1
+            ev.l3_misses += 1
+            wait, latency, install = self.fabric.read(now, self, line)
+            if latency > self.dear_threshold:
+                self.dear_pending = latency
+            return wait + latency + self._install(now, line, install)
+
+        if kind == STORE:
+            ev.stores += 1
+            if st is not None:
+                extra = 0
+                if st == SHARED:
+                    wait, latency = self.fabric.upgrade(now, self, line)
+                    extra = wait + int(latency * self._sf)
+                    if latency > self.dear_threshold:
+                        self.dear_pending = latency
+                self.state[line] = MODIFIED
+                self.l2_dirty.add(line)
+                if self.l2.touch(line):
+                    return lat.l2_hit + extra
+                ev.l2_misses += 1
+                return lat.l3_hit + extra + self._promote(line)
+            ev.l2_misses += 1
+            ev.l3_misses += 1
+            wait, latency, _ = self.fabric.read_excl(now, self, line)
+            if latency > self.dear_threshold:
+                self.dear_pending = latency
+            stall = wait + int(latency * self._sf)
+            stall += self._install(now, line, MODIFIED)
+            self.l2_dirty.add(line)
+            return stall
+
+        if kind == PREFETCH:
+            ev.prefetches += 1
+            if st is not None:
+                if not self.l2.touch(line):
+                    # the promote may force a dirty L2 drain whose
+                    # write-buffer backpressure the core still feels
+                    return self._promote(line)
+                return 0
+            ev.l2_misses += 1
+            ev.l3_misses += 1
+            wait, _, _ = self.fabric.read(now, self, line)
+            # a plain lfetch brings the line in "the usual shared state"
+            # (paper §1), not E — so a later store still pays an upgrade.
+            extra = self._install(now, line, SHARED)
+            # non-blocking, but the request port / MSHRs back-pressure the
+            # core at the bus bandwidth (issue cost = queue wait + occupancy)
+            return wait + self._occ_data + extra
+
+        if kind == PREFETCH_EXCL:
+            ev.prefetches += 1
+            if st is not None:
+                cost = 0
+                if st == SHARED:
+                    # acquire ownership in the background (bus traffic,
+                    # issue cost only — the store it covers won't stall)
+                    wait, _ = self.fabric.upgrade(now, self, line)
+                    cost = wait + self._occ_ctrl
+                    self.state[line] = EXCLUSIVE
+                    self.l2_dirty.add(line)
+                    self.excl_alloc.add(line)
+                elif st == EXCLUSIVE:
+                    self.l2_dirty.add(line)
+                    self.excl_alloc.add(line)
+                if not self.l2.touch(line):
+                    cost += self._promote(line)
+                return cost
+            ev.l2_misses += 1
+            ev.l3_misses += 1
+            wait, _, _ = self.fabric.read_excl(now, self, line)
+            extra = self._install(now, line, EXCLUSIVE)
+            self.l2_dirty.add(line)
+            self.excl_alloc.add(line)
+            return wait + self._occ_data + extra
+
+        if kind == ATOMIC:
+            # fetchadd8: read-modify-write, fully serializing (no store buffer)
+            ev.loads += 1
+            ev.stores += 1
+            if st is not None:
+                extra = 0
+                if st == SHARED:
+                    wait, latency = self.fabric.upgrade(now, self, line)
+                    extra = wait + latency
+                self.state[line] = MODIFIED
+                self.l2_dirty.add(line)
+                if self.l2.touch(line):
+                    return lat.l2_hit + extra
+                ev.l2_misses += 1
+                return lat.l3_hit + extra + self._promote(line)
+            ev.l2_misses += 1
+            ev.l3_misses += 1
+            wait, latency, _ = self.fabric.read_excl(now, self, line)
+            stall = wait + latency + self._install(now, line, MODIFIED)
+            self.l2_dirty.add(line)
+            return stall
+
+        # LOAD_BIAS: ld8.bias — a load that requests exclusive ownership
+        ev.loads += 1
+        if st is not None:
+            extra = 0
+            if st == SHARED:
+                wait, latency = self.fabric.upgrade(now, self, line)
+                extra = wait + latency
+                self.state[line] = MODIFIED
+                self.l2_dirty.add(line)
+            if self.l2.touch(line):
+                return lat.l2_hit + extra
+            ev.l2_misses += 1
+            return lat.l3_hit + extra + self._promote(line)
+        ev.l2_misses += 1
+        ev.l3_misses += 1
+        wait, latency, _ = self.fabric.read_excl(now, self, line)
+        stall = wait + latency + self._install(now, line, MODIFIED)
+        self.l2_dirty.add(line)
+        return stall
+
+    # -- fills and evictions ---------------------------------------------
+
+    def _promote(self, line: int) -> int:
+        """Bring an L3-resident line into L2; return extra drain cycles."""
+        victim = self.l2.insert(line)
+        if victim is not None and victim in self.l2_dirty:
+            self.l2_dirty.discard(victim)
+            self.events.l2_writebacks += 1
+            return self.lat.l2_writeback
+        return 0
+
+    def _install(self, now: int, line: int, st: int) -> int:
+        """Fill a missing line into L3+L2 with state ``st``.
+
+        Returns extra cycles charged for evictions forced by the fill.
+        """
+        extra = 0
+        victim3 = self.l3.insert(line)
+        if victim3 is not None:
+            vstate = self.state.pop(victim3, None)
+            self.l2.remove(victim3)
+            self.l2_dirty.discard(victim3)
+            if vstate == MODIFIED:
+                extra += self.fabric.writeback(now, self, victim3)
+            elif vstate == EXCLUSIVE and victim3 in self.excl_alloc:
+                # cast-out of an exclusively-prefetched (never stored) line
+                extra += self.fabric.writeback(now, self, victim3)
+            self.excl_alloc.discard(victim3)
+        victim2 = self.l2.insert(line)
+        if victim2 is not None and victim2 in self.l2_dirty:
+            self.l2_dirty.discard(victim2)
+            self.events.l2_writebacks += 1
+            extra += self.lat.l2_writeback
+        self.state[line] = st
+        return extra
+
+    # -- snooping (called by the fabric on behalf of other CPUs) -----------
+
+    def snoop_read(self, line: int) -> int:
+        """Remote shared read.  M -> S (+writeback), E -> S.
+
+        Returns the prior state (0 if not present).
+        """
+        st = self.state.get(line)
+        if st is None:
+            return 0
+        if st == MODIFIED:
+            self.state[line] = SHARED
+            self.l2_dirty.discard(line)
+            self.events.writebacks += 1
+            return MODIFIED
+        if st == EXCLUSIVE:
+            self.state[line] = SHARED
+            self.excl_alloc.discard(line)
+            return EXCLUSIVE
+        return SHARED
+
+    def snoop_invalidate(self, line: int) -> int:
+        """Remote RFO/upgrade.  Drop the line; return the prior state."""
+        st = self.state.pop(line, None)
+        if st is None:
+            return 0
+        self.l3.remove(line)
+        self.l2.remove(line)
+        self.l2_dirty.discard(line)
+        self.excl_alloc.discard(line)
+        self.events.invalidations_received += 1
+        if st == MODIFIED:
+            self.events.writebacks += 1
+        return st
+
+    # -- introspection -------------------------------------------------------
+
+    def state_of(self, line: int) -> int | None:
+        return self.state.get(line)
+
+    def check_inclusion(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        l2_lines = self.l2.lines()
+        l3_lines = self.l3.lines()
+        assert l2_lines <= l3_lines, "L2 must be a subset of L3"
+        assert set(self.state) == l3_lines, "state map must mirror L3 tags"
+        assert self.l2_dirty <= l2_lines, "dirty set must be L2-resident"
+        assert self.excl_alloc <= l3_lines, "excl-alloc set must be cached"

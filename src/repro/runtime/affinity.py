@@ -1,0 +1,34 @@
+"""Thread-to-CPU binding policies.
+
+``compact`` fills nodes in order (threads 0,1 on node 0, ...);
+``scatter`` round-robins across nodes first.  The paper binds each
+thread to a different processor; on the Altix the placement interacts
+with first-touch page homes, so both policies are provided.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import RuntimeError_
+
+__all__ = ["bind_threads"]
+
+
+def bind_threads(config: MachineConfig, n_threads: int, policy: str = "compact") -> list[int]:
+    """Return the CPU id for each thread id."""
+    if n_threads < 1:
+        raise RuntimeError_("need at least one thread")
+    if n_threads > config.n_cpus:
+        raise RuntimeError_(
+            f"{n_threads} threads exceed {config.n_cpus} CPUs (threads are 1:1 bound)"
+        )
+    if policy == "compact":
+        return list(range(n_threads))
+    if policy == "scatter":
+        per_node = config.cpus_per_node
+        order: list[int] = []
+        for offset in range(per_node):
+            for node in range(config.n_nodes):
+                order.append(node * per_node + offset)
+        return order[:n_threads]
+    raise RuntimeError_(f"unknown affinity policy {policy!r}")

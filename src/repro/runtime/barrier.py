@@ -1,0 +1,52 @@
+"""OpenMP barrier, compiled to machine code.
+
+A sense-reversing central barrier using ``fetchadd8`` on a shared
+counter and a spin on a generation word — the implicit barrier at the
+end of every ``omp parallel for``.  Spinning threads re-read the
+generation line, so barrier traffic itself produces realistic coherence
+transactions (a shared line bouncing between caches).
+
+The emitted function takes no parameters (the counter/generation
+addresses and thread count are baked in) and clobbers ``r25..r28`` and
+``p8/p9``.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Instruction, Op
+from ..memory.dram import MemorySystem
+from .thread import SimThread  # noqa: F401  (re-export convenience)
+
+__all__ = ["emit_barrier"]
+
+
+def emit_barrier(emitter, mem: MemorySystem, n_threads: int, name: str = "__barrier") -> int:
+    """Emit the shared barrier function; return its entry address.
+
+    ``emitter`` is a :class:`~repro.compiler.codegen.Emitter` on the
+    program image.
+    """
+    state = mem.alloc(f"{name}_state", 256)  # count and gen on separate lines
+    count_addr = state.base
+    gen_addr = state.base + 128
+
+    entry = emitter.label(name)
+    emitter.emit(Instruction(Op.MOVI, r1=25, imm=count_addr))
+    emitter.emit(Instruction(Op.MOVI, r1=26, imm=gen_addr))
+    # g0 must be read before joining the count
+    emitter.emit(Instruction(Op.LD8, r1=27, r2=26, unit="M"))
+    emitter.emit(Instruction(Op.FETCHADD8, r1=28, r2=25, imm=1, unit="M"))
+    emitter.emit(Instruction(Op.CMPI_EQ, r1=8, r2=9, r3=28, imm=n_threads - 1))
+    emitter.emit(Instruction(Op.BR_COND, qp=9, label=f".{name}_wait", unit="B"))
+    # last arrival: reset the counter, advance the generation
+    emitter.emit(Instruction(Op.ST8, r2=25, r3=0, unit="M"))
+    emitter.emit(Instruction(Op.ADDI, r1=27, r2=27, imm=1))
+    emitter.emit(Instruction(Op.ST8, r2=26, r3=27, unit="M"))
+    emitter.emit(Instruction(Op.BR_RET, unit="B"))
+
+    emitter.label(f".{name}_wait")
+    emitter.emit(Instruction(Op.LD8, r1=28, r2=26, unit="M"))
+    emitter.emit(Instruction(Op.CMP_EQ, r1=8, r2=9, r3=28, r4=27))
+    emitter.emit(Instruction(Op.BR_COND, qp=8, label=f".{name}_wait", unit="B"))
+    emitter.emit(Instruction(Op.BR_RET, unit="B"))
+    return entry

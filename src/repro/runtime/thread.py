@@ -1,0 +1,34 @@
+"""Simulated worker threads.
+
+Threads are 1:1 bound to CPUs for the whole run ("each thread is bound
+to a different processor", paper §2), so a thread is little more than a
+record tying a thread id to a core and its entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.core import Core
+
+__all__ = ["SimThread"]
+
+
+@dataclass
+class SimThread:
+    """One OpenMP worker thread bound to one core."""
+
+    tid: int
+    core: Core
+    entry: int
+
+    def start(self) -> None:
+        self.core.start(self.entry)
+
+    @property
+    def done(self) -> bool:
+        return self.core.halted
+
+    @property
+    def cpu_id(self) -> int:
+        return self.core.cpu_id

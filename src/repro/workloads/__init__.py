@@ -1,0 +1,13 @@
+"""Workloads: the OpenMP DAXPY example and the NPB-like suite."""
+
+from .daxpy import DAXPY_CLASSES, build_daxpy, verify_daxpy, working_set_elems
+from .npb import BENCHMARKS, REPORTED
+
+__all__ = [
+    "build_daxpy",
+    "verify_daxpy",
+    "working_set_elems",
+    "DAXPY_CLASSES",
+    "BENCHMARKS",
+    "REPORTED",
+]

@@ -1,0 +1,88 @@
+"""EP — embarrassingly parallel kernel (structural analogue).
+
+Pure register-resident FP work (the Gaussian-pair arithmetic core) plus
+a small *private* per-thread tally histogram.  EP touches almost no
+shared data — the paper excludes it from the final results because it
+"doesn't show any long latency coherent misses", and this analogue
+reproduces that property mechanistically (nothing is shared except the
+barrier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...compiler.kernels import ComputeLoop, HistogramLoop
+from ...compiler.prefetch import AGGRESSIVE, PrefetchPlan
+from ...cpu.machine import Machine
+from ...runtime.team import ParallelProgram, static_chunks
+from .common import NpbBenchmark, register
+
+__all__ = ["EP"]
+
+_N_KEYS = 4096
+_N_BINS = 64
+_BIN_PAD = 16  # pad each thread's bins to a line multiple -> private lines
+_COMPUTE_ITERS = 3000
+
+
+class EpBenchmark(NpbBenchmark):
+    name = "ep"
+    default_reps = 4
+
+    def __init__(self) -> None:
+        rng = np.random.default_rng(41)
+        self.keys = rng.integers(0, _N_BINS, _N_KEYS).astype(np.int64)
+        self.compute = ComputeLoop("ep_gauss", flops_per_iter=4)
+        self.tally = HistogramLoop("ep_tally", key="keys", cnt="bins")
+
+    def build(
+        self,
+        machine: Machine,
+        n_threads: int,
+        plan: PrefetchPlan = AGGRESSIVE,
+        reps: int | None = None,
+    ) -> ParallelProgram:
+        reps = reps or self.default_reps
+        prog = ParallelProgram(machine, self.name)
+        prog.int_array("keys", _N_KEYS, self.keys)
+        stride = _N_BINS + _BIN_PAD
+        prog.int_array("bins", stride * n_threads)
+        bins = prog.arrays["bins"]
+
+        c_fn = prog.kernel(self.compute, plan)
+        chunks = static_chunks(_N_KEYS, n_threads)
+        prog.region([prog.make_call(c_fn, 0, _COMPUTE_ITERS) for _ in range(n_threads)])
+        t_fn = prog.kernel(self.tally, plan)
+        prog.region(
+            [
+                prog.make_call(
+                    t_fn, start, count, raw={"bins": bins.addr(stride * tid)}
+                )
+                if count
+                else None
+                for tid, (start, count) in enumerate(chunks)
+            ]
+        )
+        prog.build(outer_reps=reps)
+        return prog
+
+    def reference(self, reps: int, n_threads: int) -> np.ndarray:
+        stride = _N_BINS + _BIN_PAD
+        bins = np.zeros(stride * n_threads, dtype=np.int64)
+        chunks = static_chunks(_N_KEYS, n_threads)
+        for _ in range(reps):
+            for tid, (start, count) in enumerate(chunks):
+                for key in self.keys[start : start + count]:
+                    bins[stride * tid + key] += 1
+        return bins
+
+    def verify(self, prog: ParallelProgram, reps: int | None = None) -> bool:
+        reps = reps or self.default_reps
+        n_threads = prog.n_threads
+        expect = self.reference(reps, n_threads)
+        got = prog.i64("bins")
+        return bool(np.array_equal(got[: len(expect)], expect))
+
+
+EP = register(EpBenchmark())

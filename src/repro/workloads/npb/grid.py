@@ -1,0 +1,144 @@
+"""Generic 2-D grid stencil benchmark (the BT / SP / LU chassis).
+
+The simulated CFD applications (BT, SP, LU) share a structure: per
+time step, several grid sweeps — alternating i-contiguous and
+j-direction (stride-``side``) stencils — each parallelized over the
+flattened index range with OpenMP static chunking.  The j-direction
+sweeps read rows owned by neighbouring threads, which is the inherent
+true sharing; the compiler's 9-lines-ahead prefetch adds the
+prefetch-induced sharing COBRA removes.
+
+Arrays carry a halo of ``side`` elements on both ends so stencil shifts
+never leave the allocation; all sweeps are double-buffered (destination
+is never a shifted source), so parallel execution is deterministic and
+the NumPy mirror is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...compiler.kernels import ReduceLoop
+from ...compiler.prefetch import AGGRESSIVE, PrefetchPlan
+from ...cpu.machine import Machine
+from ...errors import WorkloadError
+from ...runtime.team import ParallelProgram, static_chunks
+from .common import NpbBenchmark, StencilSpec, apply_stream
+
+__all__ = ["GridBenchmark"]
+
+
+class GridBenchmark(NpbBenchmark):
+    """A sequence of double-buffered stencil sweeps over a 2-D grid."""
+
+    def __init__(
+        self,
+        name: str,
+        side: int,
+        specs: list[StencilSpec],
+        default_reps: int = 6,
+        with_residual: bool = True,
+        seed: int = 7,
+    ) -> None:
+        self.name = name
+        self.side = side
+        self.n = side * side
+        self.halo = 2 * side + 16
+        self.specs = specs
+        self.default_reps = default_reps
+        self.with_residual = with_residual
+        self.seed = seed
+        names: set[str] = set()
+        for spec in specs:
+            names.add(spec.dest)
+            for term in spec.terms:
+                names.add(term.array)
+                if term.array == spec.dest and term.shift != 0:
+                    raise WorkloadError(
+                        f"{name}/{spec.name}: in-place shifted stencil would race"
+                    )
+                if abs(term.shift) > self.halo:
+                    raise WorkloadError(f"{name}/{spec.name}: shift exceeds halo")
+            if spec.scale is not None:
+                names.add(spec.scale)
+        self.array_names = sorted(names)
+
+    # -- construction -------------------------------------------------------
+
+    def _initial(self) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        padded = self.n + 2 * self.halo
+        return {
+            name: rng.uniform(0.5, 1.5, padded) for name in self.array_names
+        }
+
+    def build(
+        self,
+        machine: Machine,
+        n_threads: int,
+        plan: PrefetchPlan = AGGRESSIVE,
+        reps: int | None = None,
+    ) -> ParallelProgram:
+        reps = reps or self.default_reps
+        prog = ParallelProgram(machine, self.name)
+        init = self._initial()
+        padded = self.n + 2 * self.halo
+        for name in self.array_names:
+            prog.array(name, padded, init[name])
+        if self.with_residual:
+            prog.array("__res", 16 * n_threads)  # one line per thread slot
+
+        chunks = static_chunks(self.n, n_threads)
+        for spec in self.specs:
+            fn = prog.kernel(spec.template(), plan)
+            calls = []
+            for start, count in chunks:
+                if count:
+                    calls.append(prog.make_call(fn, self.halo + start, count))
+                else:
+                    calls.append(None)
+            prog.region(calls)
+        if self.with_residual:
+            rfn = prog.kernel(ReduceLoop(f"{self.name}_norm", src_a=self.specs[-1].dest), plan)
+            res = prog.arrays["__res"]
+            calls = []
+            for tid, (start, count) in enumerate(chunks):
+                if count:
+                    calls.append(
+                        prog.make_call(
+                            rfn, self.halo + start, count,
+                            raw={"result": res.addr(16 * tid)},
+                        )
+                    )
+                else:
+                    calls.append(None)
+            prog.region(calls)
+        prog.build(outer_reps=reps)
+        return prog
+
+    # -- verification -----------------------------------------------------------
+
+    def reference(self, reps: int, n_threads: int = 1) -> dict[str, np.ndarray]:
+        """Exact NumPy mirror of ``reps`` time steps."""
+        arrays = self._initial()
+        for _ in range(reps):
+            for spec in self.specs:
+                apply_stream(arrays, spec.template(), self.halo, self.n)
+        return arrays
+
+    def verify(self, prog: ParallelProgram, reps: int | None = None) -> bool:
+        reps = reps or self.default_reps
+        expect = self.reference(reps)
+        for name in self.array_names:
+            got = prog.f64(name)[: self.n + 2 * self.halo]
+            if not np.allclose(got, expect[name], rtol=self.rtol, atol=1e-12):
+                return False
+        if self.with_residual:
+            # every thread writes its chunk sum to slot tid*16, so the
+            # slot sum equals the whole-grid sum regardless of n_threads
+            res = prog.f64("__res")
+            last = self.specs[-1].dest
+            whole = expect[last][self.halo : self.halo + self.n].sum()
+            if not np.isclose(res[::16].sum(), whole, rtol=1e-9):
+                return False
+        return True

@@ -1,0 +1,290 @@
+"""Code generation: every template compiles and computes correctly."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    AGGRESSIVE,
+    NO_PREFETCH,
+    ComputeLoop,
+    GatherLoop,
+    HistogramLoop,
+    IntSumLoop,
+    PrefetchPlan,
+    ReduceLoop,
+    StreamLoop,
+    Term,
+)
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.errors import CompilerError
+from repro.isa import Op
+from repro.runtime import ParallelProgram
+
+
+def _machine():
+    return Machine(itanium2_smp(1))
+
+
+def _run_single(prog):
+    prog.build()
+    prog.run(max_bundles=10_000_000)
+
+
+class TestStreamLoop:
+    def test_multi_term_with_shifts(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "s")
+        n, halo = 128, 16
+        rng = np.random.default_rng(0)
+        u = rng.uniform(1, 2, n + 2 * halo)
+        prog.array("u", n + 2 * halo, u)
+        prog.array("d", n + 2 * halo, 0.0)
+        fn = prog.kernel(
+            StreamLoop(
+                "stencil",
+                dest="d",
+                terms=(Term("u", -2.0, 0), Term("u", 0.5, -1), Term("u", 0.5, 1)),
+            )
+        )
+        prog.region([prog.make_call(fn, halo, n)])
+        _run_single(prog)
+        expect = -2.0 * u[halo : halo + n] + 0.5 * u[halo - 1 : halo - 1 + n] + 0.5 * u[halo + 1 : halo + 1 + n]
+        assert np.allclose(prog.f64("d")[halo : halo + n], expect)
+
+    def test_scale_array(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "s")
+        n = 64
+        a = np.arange(1.0, n + 1)
+        w = np.linspace(0.5, 1.5, n)
+        prog.array("a", n, a)
+        prog.array("w", n, w)
+        prog.array("d", n, 0.0)
+        fn = prog.kernel(StreamLoop("sc", dest="d", terms=(Term("a", 2.0, 0),), scale="w"))
+        prog.region([prog.make_call(fn, 0, n)])
+        _run_single(prog)
+        assert np.allclose(prog.f64("d")[:n], 2.0 * a * w)
+
+    def test_single_term_copy(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "s")
+        prog.array("a", 64, np.arange(64.0))
+        prog.array("d", 64, 0.0)
+        fn = prog.kernel(StreamLoop("cp", dest="d", terms=(Term("a", 1.0, 0),)))
+        prog.region([prog.make_call(fn, 0, 64)])
+        _run_single(prog)
+        assert np.allclose(prog.f64("d")[:64], np.arange(64.0))
+
+    def test_rmw_two_streams_uses_rotating_queue(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "s")
+        prog.array("y", 64, 1.0)
+        prog.array("x", 64, 2.0)
+        fn = prog.kernel(StreamLoop("rmw", dest="y", terms=(Term("y", 1.0, 0), Term("x", 3.0, 0))))
+        sites = prog.image.find_ops(Op.LFETCH, fn.region)
+        in_loop = [s for s in sites if s[0] >= fn.loop_head]
+        assert len(in_loop) == 1, "Figure-2 form: one rotating lfetch"
+        addr, slot = in_loop[0]
+        assert prog.image.fetch_bundle(addr).slots[slot].r2 >= 32
+
+    def test_non_rmw_uses_per_stream_lfetches(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "s")
+        prog.array("a", 64, 1.0)
+        prog.array("b", 64, 1.0)
+        prog.array("d", 64, 0.0)
+        fn = prog.kernel(
+            StreamLoop("ps", dest="d", terms=(Term("a", 1.0, 0), Term("b", 1.0, 0)))
+        )
+        in_loop = [
+            s for s in prog.image.find_ops(Op.LFETCH, fn.region) if s[0] >= fn.loop_head
+        ]
+        assert len(in_loop) == 3  # a, b, and the dest stream
+
+    def test_too_many_terms(self):
+        with pytest.raises(CompilerError):
+            StreamLoop("x", dest="d", terms=tuple(Term(f"a{i}", 1.0, 0) for i in range(9)))
+
+
+class TestReduceLoop:
+    def test_sum(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "r")
+        a = np.arange(100.0)
+        prog.array("a", 100, a)
+        prog.array("res", 16, 0.0)
+        fn = prog.kernel(ReduceLoop("sum", src_a="a"))
+        prog.region([prog.make_call(fn, 0, 100, raw={"result": prog.arrays["res"].base})])
+        _run_single(prog)
+        assert prog.f64("res")[0] == a.sum()
+
+    def test_dot(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "r")
+        a = np.arange(1.0, 65.0)
+        b = np.linspace(0, 1, 64)
+        prog.array("a", 64, a)
+        prog.array("b", 64, b)
+        prog.array("res", 16, 0.0)
+        fn = prog.kernel(ReduceLoop("dot", src_a="a", src_b="b"))
+        prog.region([prog.make_call(fn, 0, 64, raw={"result": prog.arrays["res"].base})])
+        _run_single(prog)
+        assert np.isclose(prog.f64("res")[0], float(np.dot(a, b)))
+
+
+class TestGatherLoop:
+    def test_csr_spmv(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "g")
+        rng = np.random.default_rng(5)
+        n, nnz = 32, 3
+        cols = np.array([rng.choice(n, nnz, replace=False) for _ in range(n)])
+        vals = rng.uniform(0, 1, (n, nnz))
+        x = rng.uniform(0, 1, n)
+        prog.int_array("ptr", n + 1, np.arange(n + 1) * nnz)
+        prog.int_array("col", n * nnz, cols.reshape(-1))
+        prog.array("val", n * nnz, vals.reshape(-1))
+        prog.array("x", n, x)
+        prog.array("y", n, 0.0)
+        fn = prog.kernel(GatherLoop("spmv", ptr="ptr", col="col", val="val", x="x", y="y"))
+        prog.region([prog.make_call(fn, 0, n)])
+        _run_single(prog)
+        expect = np.array([np.dot(vals[i], x[cols[i]]) for i in range(n)])
+        assert np.allclose(prog.f64("y")[:n], expect)
+
+    def test_empty_rows_handled(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "g")
+        ptr = np.array([0, 2, 2, 3, 3])  # rows 1 and 3 empty
+        prog.int_array("ptr", 5, ptr)
+        prog.int_array("col", 3, np.array([0, 1, 2]))
+        prog.array("val", 3, np.array([1.0, 2.0, 3.0]))
+        prog.array("x", 4, np.array([1.0, 1.0, 1.0, 1.0]))
+        prog.array("y", 4, 0.0)
+        fn = prog.kernel(GatherLoop("sp2", ptr="ptr", col="col", val="val", x="x", y="y"))
+        prog.region([prog.make_call(fn, 0, 4)])
+        _run_single(prog)
+        assert np.allclose(prog.f64("y")[:4], [3.0, 0.0, 3.0, 0.0])
+
+
+class TestHistogramAndIntSum:
+    def test_histogram(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "h")
+        keys = np.array([0, 1, 1, 2, 2, 2, 7, 7], dtype=np.int64)
+        prog.int_array("k", len(keys), keys)
+        prog.int_array("c", 8, 0)
+        fn = prog.kernel(HistogramLoop("hist", key="k", cnt="c"))
+        prog.region([prog.make_call(fn, 0, len(keys))])
+        _run_single(prog)
+        assert list(prog.i64("c")[:8]) == [1, 2, 3, 0, 0, 0, 0, 2]
+
+    def test_intsum_with_shifts(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "i")
+        data = np.arange(24, dtype=np.int64)
+        prog.int_array("src", 24, data)
+        prog.int_array("dst", 8, 0)
+        fn = prog.kernel(
+            IntSumLoop("merge", dest="dst", sources=(("src", 0), ("src", 8), ("src", 16)))
+        )
+        prog.region([prog.make_call(fn, 0, 8)])
+        _run_single(prog)
+        expect = data[0:8] + data[8:16] + data[16:24]
+        assert np.array_equal(prog.i64("dst")[:8], expect)
+
+    def test_compute_loop_runs(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "c")
+        fn = prog.kernel(ComputeLoop("flops", flops_per_iter=4))
+        prog.region([prog.make_call(fn, 0, 500)])
+        _run_single(prog)
+        assert machine.cores[0].retired > 500  # the fma chain executed
+
+
+class TestPrefetchPlans:
+    def test_no_prefetch_emits_no_lfetch(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "p")
+        prog.array("a", 64, 1.0)
+        prog.array("d", 64, 0.0)
+        fn = prog.kernel(StreamLoop("k", dest="d", terms=(Term("a", 1.0, 0),)), NO_PREFETCH)
+        assert prog.image.count_ops(Op.LFETCH, fn.region) == 0
+
+    def test_plan_distance_and_hint(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "p")
+        prog.array("a", 64, 1.0)
+        prog.array("d", 64, 0.0)
+        plan = PrefetchPlan(distance_lines=5, hint="nta", prologue_per_stream=2)
+        fn = prog.kernel(StreamLoop("k", dest="d", terms=(Term("a", 1.0, 0),)), plan)
+        lfetches = [
+            prog.image.fetch_bundle(a).slots[s]
+            for a, s in prog.image.find_ops(Op.LFETCH, fn.region)
+        ]
+        assert all(lf.hint == "nta" for lf in lfetches)
+
+    def test_static_excl_plan(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "p")
+        prog.array("a", 64, 1.0)
+        prog.array("d", 64, 0.0)
+        fn = prog.kernel(
+            StreamLoop("k", dest="d", terms=(Term("a", 1.0, 0),)), PrefetchPlan(excl=True)
+        )
+        lfetches = [
+            prog.image.fetch_bundle(a).slots[s]
+            for a, s in prog.image.find_ops(Op.LFETCH, fn.region)
+        ]
+        assert lfetches and all(lf.excl for lf in lfetches)
+
+    def test_plan_validation(self):
+        with pytest.raises(CompilerError):
+            PrefetchPlan(distance_lines=0)
+        with pytest.raises(CompilerError):
+            PrefetchPlan(hint="bogus")
+        with pytest.raises(CompilerError):
+            PrefetchPlan(prologue_per_stream=-1)
+        assert PrefetchPlan().prologue_count == 9  # covers the distance
+        assert PrefetchPlan(prologue_per_stream=3).prologue_count == 3
+
+
+class TestEmitterPacking:
+    def test_max_two_memory_ops_per_bundle(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "e")
+        prog.array("a", 64, 1.0)
+        prog.array("b", 64, 1.0)
+        prog.array("c", 64, 1.0)
+        prog.array("d", 64, 0.0)
+        fn = prog.kernel(
+            StreamLoop(
+                "k",
+                dest="d",
+                terms=(Term("a", 1.0, 0), Term("b", 1.0, 0), Term("c", 1.0, 0)),
+            )
+        )
+        for addr, bundle in prog.image.iter_bundles():
+            mems = sum(1 for i in bundle.slots if i.is_memory)
+            assert mems <= 2, f"bundle at {addr:#x} has {mems} memory ops"
+
+    def test_branches_terminate_bundles(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "e")
+        prog.array("a", 64, 1.0)
+        fn = prog.kernel(ReduceLoop("r", src_a="a"))
+        for addr, bundle in prog.image.iter_bundles():
+            for slot, instr in enumerate(bundle.slots):
+                if instr.is_branch:
+                    assert slot == 2, f"branch not in last slot at {addr:#x}"
+
+    def test_duplicate_kernel_name_rejected(self):
+        machine = _machine()
+        prog = ParallelProgram(machine, "e")
+        prog.array("a", 64, 1.0)
+        prog.array("d", 64, 0.0)
+        template = StreamLoop("dup", dest="d", terms=(Term("a", 1.0, 0),))
+        prog.kernel(template)
+        with pytest.raises(CompilerError):
+            prog.kernel(template)

@@ -1,0 +1,60 @@
+"""Kernel template validation rules."""
+
+import pytest
+
+from repro.compiler import (
+    ComputeLoop,
+    GatherLoop,
+    IntSumLoop,
+    ReduceLoop,
+    StreamLoop,
+    Term,
+)
+from repro.errors import CompilerError
+
+
+class TestStreamLoop:
+    def test_needs_terms(self):
+        with pytest.raises(CompilerError):
+            StreamLoop("x", dest="d", terms=())
+
+    def test_streams_dedup_and_order(self):
+        loop = StreamLoop(
+            "x",
+            dest="d",
+            terms=(Term("a", 1.0, 0), Term("b", 1.0, 0), Term("a", 2.0, 1)),
+            scale="w",
+        )
+        assert loop.load_arrays == ("a", "b", "w")
+        assert loop.streams == ("a", "b", "w", "d")
+
+    def test_dest_aliasing_source_not_duplicated(self):
+        loop = StreamLoop("x", dest="a", terms=(Term("a", 1.0, 0),))
+        assert loop.streams == ("a",)
+
+
+class TestOthers:
+    def test_reduce_streams(self):
+        assert ReduceLoop("r", src_a="a").streams == ("a",)
+        assert ReduceLoop("r", src_a="a", src_b="b").streams == ("a", "b")
+        assert ReduceLoop("r", src_a="a", src_b="a").streams == ("a",)
+
+    def test_intsum_validation(self):
+        with pytest.raises(CompilerError):
+            IntSumLoop("m", dest="d", sources=())
+        with pytest.raises(CompilerError):
+            IntSumLoop("m", dest="d", sources=tuple(("s", i) for i in range(11)))
+        loop = IntSumLoop("m", dest="d", sources=(("a", 0), ("a", 8)))
+        assert loop.streams == ("a", "d")
+
+    def test_compute_validation(self):
+        with pytest.raises(CompilerError):
+            ComputeLoop("c", flops_per_iter=0)
+        with pytest.raises(CompilerError):
+            ComputeLoop("c", flops_per_iter=17)
+
+    def test_gather_defaults(self):
+        loop = GatherLoop("g")
+        assert (loop.ptr, loop.col, loop.val, loop.x, loop.y) == (
+            "ptr", "col", "a", "x", "y",
+        )

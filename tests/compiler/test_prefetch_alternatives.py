@@ -1,0 +1,88 @@
+"""The §2 static alternatives: conditional prefetch and multi-version code."""
+
+import numpy as np
+
+from repro.compiler import PrefetchPlan, StreamLoop, Term
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.isa import Op
+from repro.runtime import ParallelProgram
+from repro.workloads import build_daxpy, verify_daxpy
+
+
+def _stream_prog(machine, plan, n=256, threads=1, reps=1):
+    prog = ParallelProgram(machine, "alt")
+    prog.array("x", n, np.arange(n, dtype=float))
+    prog.array("y", n, 1.0)
+    fn = prog.kernel(
+        StreamLoop("k", dest="y", terms=(Term("y", 1.0, 0), Term("x", 2.0, 0))), plan
+    )
+    prog.parallel_for(fn, n, threads)
+    prog.build(outer_reps=reps)
+    return prog, fn
+
+
+class TestConditionalPrefetch:
+    def test_emits_compare_guarded_lfetch(self):
+        machine = Machine(itanium2_smp(1))
+        prog, fn = _stream_prog(machine, PrefetchPlan(conditional=True))
+        in_loop = [
+            prog.image.fetch_bundle(a).slots[s]
+            for a, s in prog.image.find_ops(Op.LFETCH, fn.region)
+            if a >= fn.loop_head
+        ]
+        assert in_loop and all(lf.qp == 6 for lf in in_loop), (
+            "in-loop lfetches must be guarded by the range-check predicate"
+        )
+        cmps = prog.image.count_ops(Op.CMP_LT, (fn.loop_head, fn.region[1]))
+        assert cmps == len(in_loop), "one more compare per stream (paper §2)"
+
+    def test_numerics_unchanged(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = build_daxpy(machine, 2048, 4, outer_reps=5, plan=PrefetchPlan(conditional=True))
+        prog.run(max_bundles=100_000_000)
+        assert verify_daxpy(prog, 5)
+
+    def test_nullifies_out_of_range_prefetches(self):
+        """Conditional prefetch must not touch the neighbour's chunk."""
+
+        def boundary_invalidations(plan):
+            machine = Machine(itanium2_smp(4, scale=4))
+            prog = build_daxpy(machine, 2048, 4, outer_reps=8, plan=plan)
+            result = prog.run(max_bundles=100_000_000)
+            return result.events.invalidations_received
+
+        aggressive = boundary_invalidations(PrefetchPlan())
+        conditional = boundary_invalidations(PrefetchPlan(conditional=True))
+        assert conditional < aggressive * 0.7, (
+            "range-checked prefetching removes most prefetch-induced sharing"
+        )
+
+
+class TestMultiVersion:
+    def test_small_chunks_take_the_noprefetch_version(self):
+        machine = Machine(itanium2_smp(1))
+        plan = PrefetchPlan(multiversion=True, multiversion_threshold=1000)
+        prog, fn = _stream_prog(machine, plan, n=256)  # 256 < 1000 -> small path
+        result = prog.run(max_bundles=10_000_000)
+        assert result.events.prefetches == 0, "small chunks must skip prefetching"
+        assert np.allclose(prog.f64("y")[:256], 1.0 + 2.0 * np.arange(256))
+
+    def test_large_chunks_take_the_prefetch_version(self):
+        machine = Machine(itanium2_smp(1))
+        plan = PrefetchPlan(multiversion=True, multiversion_threshold=100)
+        prog, fn = _stream_prog(machine, plan, n=256)
+        result = prog.run(max_bundles=10_000_000)
+        assert result.events.prefetches > 0
+        assert np.allclose(prog.f64("y")[:256], 1.0 + 2.0 * np.arange(256))
+
+    def test_both_versions_present_in_binary(self):
+        machine = Machine(itanium2_smp(1))
+        prog, fn = _stream_prog(machine, PrefetchPlan(multiversion=True))
+        assert f".k_loop" in prog.image.labels
+        assert f".k_small_loop" in prog.image.labels
+        assert f".k_small" in prog.image.labels
+
+    def test_default_cutoff_covers_prefetch_distance(self):
+        plan = PrefetchPlan(multiversion=True)
+        assert plan.multiversion_cutoff == 2 * 9 * 16  # twice the distance

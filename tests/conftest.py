@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import itanium2_smp, sgi_altix
+from repro.cpu import Machine
+
+
+@pytest.fixture
+def smp2() -> Machine:
+    """A small two-CPU SMP machine (fast for protocol tests)."""
+    return Machine(itanium2_smp(2))
+
+
+@pytest.fixture
+def smp4() -> Machine:
+    return Machine(itanium2_smp(4))
+
+
+@pytest.fixture
+def altix4() -> Machine:
+    """A two-node cc-NUMA machine."""
+    return Machine(sgi_altix(4))

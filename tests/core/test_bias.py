@@ -1,0 +1,100 @@
+"""The ld8.bias rewrite on a shared-counter read-modify-write loop."""
+
+import numpy as np
+
+from repro.config import itanium2_smp
+from repro.compiler.kernels import HistogramLoop
+from repro.core.opts.bias import find_rmw_load_regs, make_bias_rewrite
+from repro.core.tracecache import TraceCache
+from repro.core.tracesel import LoopTrace
+from repro.cpu import Machine
+from repro.isa import Op
+from repro.runtime import ParallelProgram, static_chunks
+
+N_KEYS = 2048
+N_BINS = 32  # a handful of lines, shared by both threads
+
+
+def _shared_histogram(machine, n_threads=2, reps=4):
+    """IS-like counting, but into ONE shared (racy) count array.
+
+    The determinism caveat does not matter here: we only compare event
+    counts and totals between two identically-scheduled runs.
+    """
+    rng = np.random.default_rng(3)
+    prog = ParallelProgram(machine, "shared_hist")
+    prog.int_array("keys", N_KEYS, rng.integers(0, N_BINS, N_KEYS))
+    prog.int_array("cnt", N_BINS)
+    fn = prog.kernel(HistogramLoop("count", key="keys", cnt="cnt"))
+    prog.region(
+        [
+            prog.make_call(fn, start, count) if count else None
+            for start, count in static_chunks(N_KEYS, n_threads)
+        ]
+    )
+    prog.build(outer_reps=reps)
+    return prog, fn
+
+
+class TestAssociation:
+    def test_finds_the_rmw_register(self, smp2):
+        prog, fn = _shared_histogram(smp2)
+        head = prog.image.labels[".count_loop"]
+        back = prog.image.find_ops(Op.BR_CLOOP, fn.region)[0]
+        loop = LoopTrace(head=head, back_branch=back[0] + back[1], hotness=1)
+        regs = find_rmw_load_regs(prog.image, loop)
+        assert len(regs) == 1, "exactly the cnt[key] RMW register qualifies"
+
+    def test_streaming_loads_not_selected(self, smp2):
+        prog, fn = _shared_histogram(smp2)
+        head = prog.image.labels[".count_loop"]
+        back = prog.image.find_ops(Op.BR_CLOOP, fn.region)[0]
+        loop = LoopTrace(head=head, back_branch=back[0] + back[1], hotness=1)
+        regs = find_rmw_load_regs(prog.image, loop)
+        # the key-stream load (post-increment) must not be in the set
+        key_loads = [
+            instr
+            for a in range(head, back[0] + 16, 16)
+            for instr in prog.image.fetch_bundle(a).slots
+            if instr.op is Op.LD8 and instr.imm
+        ]
+        assert key_loads and all(i.r2 not in regs for i in key_loads)
+
+
+class TestEffect:
+    def _run(self, bias: bool):
+        machine = Machine(itanium2_smp(2))
+        prog, fn = _shared_histogram(machine)
+        if bias:
+            head = prog.image.labels[".count_loop"]
+            back = prog.image.find_ops(Op.BR_CLOOP, fn.region)[0]
+            loop = LoopTrace(head=head, back_branch=back[0] + back[1], hotness=1)
+            cache = TraceCache()
+            machine.load_image(cache.image)
+            regs = find_rmw_load_regs(prog.image, loop)
+            deployment = cache.deploy(
+                prog.image, loop, make_bias_rewrite(regs), "bias"
+            )
+            assert deployment.n_rewrites == 1
+        result = prog.run(max_bundles=100_000_000)
+        total = int(prog.i64("cnt")[:N_BINS].sum())
+        return result, total
+
+    def test_bias_removes_upgrades(self):
+        base, base_total = self._run(bias=False)
+        biased, biased_total = self._run(bias=True)
+        # the shared histogram is intentionally racy (like the naive
+        # OpenMP code it models): totals are bounded, not exact
+        assert 0 < base_total <= N_KEYS * 4
+        assert 0 < biased_total <= N_KEYS * 4
+        # the biased load acquires ownership up front: the separate
+        # upgrade transactions (and the HITM downgrades they follow)
+        # all but disappear
+        assert biased.events.upgrades < base.events.upgrades * 0.1
+        assert biased.events.bus_rd_hitm < base.events.bus_rd_hitm * 0.1
+        # ...and yet it is NOT faster on contended lines — each biased
+        # load steals the whole line, so reads can no longer be shared.
+        # This is the paper's own conclusion: "the use of .bias hint is
+        # very limited" (§4), which is why COBRA's strategies don't use
+        # it by default.
+        assert biased.cycles <= base.cycles * 1.4

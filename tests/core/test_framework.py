@@ -1,0 +1,110 @@
+"""End-to-end COBRA: monitoring, deployment, adaptation, correctness."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import itanium2_smp
+from repro.core import Cobra, run_with_cobra
+from repro.core.opts.excl import associate_stored_streams
+from repro.cpu import Machine, Scheduler
+from repro.errors import CobraError
+from repro.workloads import build_daxpy, verify_daxpy, working_set_elems
+
+
+def _daxpy(machine, reps=30):
+    n = working_set_elems("128K", 4)
+    return build_daxpy(machine, n, 4, outer_reps=reps)
+
+
+class TestEndToEnd:
+    def test_noprefetch_speeds_up_and_preserves_numerics(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        baseline = _daxpy(machine).run()
+
+        machine2 = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy(machine2)
+        result, report = run_with_cobra(prog, "noprefetch")
+        assert verify_daxpy(prog, 30)
+        assert report.deployments, "COBRA must find and patch the hot loop"
+        assert result.cycles < baseline.cycles, "the rewrite must pay off here"
+        assert report.samples > 50
+
+    def test_adaptive_chooses_noprefetch_here(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy(machine)
+        _, report = run_with_cobra(prog, "adaptive")
+        assert [d.optimization for d in report.deployments] == ["noprefetch"]
+        deploys = [e for e in report.events if e.kind == "deploy"]
+        assert "coherent share" in deploys[0].reason
+
+    def test_monitoring_only_overhead_is_small(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        baseline = _daxpy(machine).run()
+        machine2 = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy(machine2)
+        config = dataclasses.replace(machine2.config.cobra, min_loop_samples=10**9)
+        result, report = run_with_cobra(prog, "noprefetch", config=config)
+        assert not report.deployments
+        assert result.cycles < baseline.cycles * 1.08, "monitoring overhead must stay low"
+
+    def test_unknown_strategy_rejected(self):
+        machine = Machine(itanium2_smp(4))
+        prog = _daxpy(machine)
+        with pytest.raises(CobraError):
+            Cobra(machine, prog.image, strategy="turbo")
+
+    def test_double_install_rejected(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy(machine)
+        cobra = Cobra(machine, prog.image, "noprefetch")
+        sched = Scheduler([t.core for t in prog.threads])
+        cobra.install(sched)
+        with pytest.raises(CobraError):
+            cobra.install(sched)
+        cobra.stop()
+
+    def test_report_summary_renders(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy(machine)
+        _, report = run_with_cobra(prog, "noprefetch")
+        text = report.summary()
+        assert "COBRA strategy=noprefetch" in text
+        assert "noprefetch" in text
+
+
+class TestExclAssociation:
+    def test_daxpy_queue_is_store_associated(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = _daxpy(machine)
+        result, report = run_with_cobra(prog, "excl")
+        assert verify_daxpy(prog, 30)
+        # the RMW rotating queue covers the stored stream -> rewritten whole
+        assert report.deployments
+        assert all(d.optimization == "excl" for d in report.deployments)
+        assert all(d.n_rewrites >= 1 for d in report.deployments)
+
+    def test_association_selects_store_streams(self, smp2):
+        import numpy as np
+
+        from repro.compiler import StreamLoop, Term
+        from repro.core.tracesel import LoopTrace
+        from repro.isa import Op
+        from repro.runtime import ParallelProgram
+
+        prog = ParallelProgram(smp2, "assoc")
+        prog.array("a", 128, 1.0)
+        prog.array("b", 128, 1.0)
+        prog.array("d", 128, 0.0)
+        fn = prog.kernel(
+            StreamLoop("k", dest="d", terms=(Term("a", 1.0, 0), Term("b", 1.0, 0)))
+        )
+        prog.parallel_for(fn, 128, 1)
+        prog.build()
+        head = prog.image.labels[".k_loop"]
+        back = prog.image.find_ops(Op.BR_CTOP, fn.region)[0]
+        trace = LoopTrace(head=head, back_branch=back[0] + back[1], hotness=1)
+        selected = associate_stored_streams(prog.image, trace)
+        assert selected is not None and len(selected) == 1, (
+            "exactly the dest stream's prefetch register is selected"
+        )

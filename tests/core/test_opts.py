@@ -1,0 +1,44 @@
+"""Unit tests of the rewrite passes."""
+
+from repro.isa.instructions import Instruction, Op
+from repro.core.opts import make_excl_rewrite, make_noprefetch_rewrite
+
+
+def _lfetch(reg=34, excl=False):
+    return Instruction(Op.LFETCH, qp=16, r2=reg, hint="nt1", excl=excl, unit="M")
+
+
+class TestNoprefetchRewrite:
+    def test_lfetch_becomes_unit_compatible_nop(self):
+        rewrite = make_noprefetch_rewrite()
+        out = rewrite(_lfetch())
+        assert out is not None and out.op is Op.NOP and out.unit == "M"
+
+    def test_other_instructions_untouched(self):
+        rewrite = make_noprefetch_rewrite()
+        for instr in (
+            Instruction(Op.LDFD, r1=32, r2=2, imm=8, unit="M"),
+            Instruction(Op.STFD, r2=17, r3=61, imm=8, unit="M"),
+            Instruction(Op.BR_CTOP, imm=0x1000, unit="B"),
+        ):
+            assert rewrite(instr) is None
+
+
+class TestExclRewrite:
+    def test_adds_excl_preserving_everything_else(self):
+        rewrite = make_excl_rewrite()
+        out = rewrite(_lfetch())
+        assert out.excl and out.hint == "nt1" and out.qp == 16 and out.r2 == 34
+
+    def test_already_excl_untouched(self):
+        rewrite = make_excl_rewrite()
+        assert rewrite(_lfetch(excl=True)) is None
+
+    def test_register_selection(self):
+        rewrite = make_excl_rewrite(address_regs={2, 3})
+        assert rewrite(_lfetch(reg=2)) is not None
+        assert rewrite(_lfetch(reg=5)) is None
+
+    def test_empty_selection_rewrites_nothing(self):
+        rewrite = make_excl_rewrite(address_regs=set())
+        assert rewrite(_lfetch(reg=2)) is None

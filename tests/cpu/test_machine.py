@@ -1,0 +1,63 @@
+"""Machine assembly: platform builders, image loading, aggregates."""
+
+import pytest
+
+from repro.config import itanium2_smp, sgi_altix
+from repro.cpu import Machine
+from repro.errors import MachineError
+from repro.isa import assemble
+from repro.memory.bus import SnoopBus
+from repro.memory.directory import DirectoryFabric
+
+
+class TestBuilders:
+    def test_smp_uses_snoop_bus(self):
+        machine = Machine(itanium2_smp(4))
+        assert isinstance(machine.fabric, SnoopBus)
+        assert machine.n_cpus == 4
+        assert all(c.node_id == 0 for c in machine.caches)
+
+    def test_altix_uses_directory(self):
+        machine = Machine(sgi_altix(8))
+        assert isinstance(machine.fabric, DirectoryFabric)
+        assert machine.config.n_nodes == 4
+        assert machine.node_of(0) == 0 and machine.node_of(7) == 3
+
+    def test_scaled_cache_geometry(self):
+        cfg = itanium2_smp(4, scale=16)
+        assert cfg.l2.size_bytes == 16 * 1024
+        assert cfg.l3.size_bytes == 192 * 1024
+        assert cfg.l2.line_size == 128  # never scaled
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            itanium2_smp(0)
+        with pytest.raises(ValueError):
+            sgi_altix(5)  # not a multiple of 2 cpus/node
+
+    def test_with_cobra_override(self):
+        cfg = itanium2_smp(4).with_cobra(sampling_interval=123)
+        assert cfg.cobra.sampling_interval == 123
+        assert itanium2_smp(4).cobra.sampling_interval != 123
+
+
+class TestAggregates:
+    def test_load_image_reaches_all_cores(self):
+        machine = Machine(itanium2_smp(2))
+        image = assemble("halt\n")
+        machine.load_image(image)
+        assert all(image in core.images for core in machine.cores)
+        machine.load_image(image)  # idempotent
+        assert all(core.images.count(image) == 1 for core in machine.cores)
+
+    def test_events_of_bounds(self):
+        machine = Machine(itanium2_smp(2))
+        machine.events_of(1)
+        with pytest.raises(MachineError):
+            machine.events_of(2)
+
+    def test_aggregate_events_sum(self):
+        machine = Machine(itanium2_smp(2))
+        machine.caches[0].events.loads = 3
+        machine.caches[1].events.loads = 4
+        assert machine.aggregate_events().loads == 7

@@ -1,0 +1,76 @@
+"""Time-ordered scheduler: clock synchronization, hooks, budgets."""
+
+import pytest
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine, Scheduler
+from repro.errors import MachineError
+from repro.isa import assemble
+
+
+def _spin_image(label: str, iters: int):
+    return assemble(
+        f"""
+        __{label}:
+        mov ar.lc={iters}
+        .{label}_loop:
+        br.cloop.sptk .{label}_loop
+        halt
+        """
+    )
+
+
+class TestScheduling:
+    def test_all_cores_run_to_halt(self):
+        machine = Machine(itanium2_smp(4))
+        image = _spin_image("t", 100)
+        machine.load_image(image)
+        for core in machine.cores:
+            core.start(image.labels["__t"])
+        total = Scheduler(machine.cores).run_until_halt(100_000)
+        assert total > 0
+        assert all(core.halted for core in machine.cores)
+
+    def test_clocks_stay_synchronized(self):
+        """No core races far ahead of the others (time-ordered execution)."""
+        machine = Machine(itanium2_smp(4))
+        image = _spin_image("t", 5000)
+        machine.load_image(image)
+        for core in machine.cores:
+            core.start(image.labels["__t"])
+        sched = Scheduler(machine.cores)
+        max_skew = 0
+        while sched.step():
+            clocks = [c.cycles for c in machine.cores if not c.halted]
+            if len(clocks) > 1:
+                max_skew = max(max_skew, max(clocks) - min(clocks))
+        assert max_skew < 2000, f"cores drifted apart by {max_skew} cycles"
+
+    def test_budget_guard(self):
+        machine = Machine(itanium2_smp(1))
+        image = assemble("fwd:\nbr fwd\n")  # infinite loop
+        machine.load_image(image)
+        machine.cores[0].start(image.base)
+        with pytest.raises(MachineError):
+            Scheduler(machine.cores).run_until_halt(max_bundles=1000)
+
+    def test_tick_hooks_run(self):
+        machine = Machine(itanium2_smp(2))
+        image = _spin_image("t", 200)
+        machine.load_image(image)
+        for core in machine.cores:
+            core.start(image.labels["__t"])
+        ticks = []
+        sched = Scheduler(machine.cores)
+        sched.add_tick_hook(lambda: ticks.append(1))
+        sched.run_until_halt(100_000)
+        assert ticks
+
+    def test_empty_scheduler_rejected(self):
+        with pytest.raises(MachineError):
+            Scheduler([])
+
+    def test_step_false_when_done(self):
+        machine = Machine(itanium2_smp(1))
+        sched = Scheduler(machine.cores)  # core is halted by default
+        assert sched.step() is False

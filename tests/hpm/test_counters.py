@@ -1,0 +1,67 @@
+"""PMU counters: programming, virtualization, resets."""
+
+import pytest
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine, Scheduler
+from repro.errors import HpmError
+from repro.hpm import N_COUNTERS, PerformanceCounters, PmuEvent, read_event
+from repro.isa import assemble
+
+
+def _run_loop(machine, iters=50):
+    image = assemble(f"mov ar.lc={iters}\n.l:\nbr.cloop.sptk .l\nhalt\n")
+    machine.load_image(image)
+    core = machine.cores[0]
+    core.start(image.base)
+    Scheduler(machine.cores).run_until_halt(100_000)
+    return core
+
+
+class TestCounters:
+    def test_programmed_counter_counts_from_zero(self):
+        machine = Machine(itanium2_smp(1))
+        core = machine.cores[0]
+        pmu = PerformanceCounters(core)
+        pmu.program(0, PmuEvent.IA64_INST_RETIRED)
+        _run_loop(machine)
+        assert pmu.read(0) == core.retired
+
+    def test_reset_rebases(self):
+        machine = Machine(itanium2_smp(1))
+        core = machine.cores[0]
+        pmu = PerformanceCounters(core)
+        pmu.program(0, PmuEvent.CPU_CYCLES)
+        _run_loop(machine)
+        pmu.reset(0)
+        assert pmu.read(0) == 0
+
+    def test_read_all_with_unprogrammed(self):
+        machine = Machine(itanium2_smp(1))
+        pmu = PerformanceCounters(machine.cores[0])
+        pmu.program(1, PmuEvent.BR_TAKEN)
+        values = pmu.read_all()
+        assert len(values) == N_COUNTERS
+        assert values[0] == 0  # unprogrammed reads as 0
+
+    def test_errors(self):
+        machine = Machine(itanium2_smp(1))
+        pmu = PerformanceCounters(machine.cores[0])
+        with pytest.raises(HpmError):
+            pmu.read(0)
+        with pytest.raises(HpmError):
+            pmu.program(4, PmuEvent.CPU_CYCLES)
+        with pytest.raises(HpmError):
+            pmu.reset(2)
+
+    @pytest.mark.parametrize("event", list(PmuEvent))
+    def test_every_event_readable(self, event):
+        machine = Machine(itanium2_smp(1))
+        assert read_event(machine.cores[0], event) == 0
+
+    def test_event_of(self):
+        machine = Machine(itanium2_smp(1))
+        pmu = PerformanceCounters(machine.cores[0])
+        pmu.program(0, PmuEvent.L3_MISSES)
+        assert pmu.event_of(0) is PmuEvent.L3_MISSES
+        assert pmu.event_of(1) is None

@@ -1,0 +1,42 @@
+"""Sample record fields (the paper §3.1 layout)."""
+
+from repro.hpm.sample import Sample
+
+
+def _sample(**kw):
+    base = dict(
+        index=0, pc=0x4000_0000, pid=7, thread_id=1, cpu_id=1,
+        counters=(1, 2, 3, 4), btb=((0x10, 0x8),),
+        miss_pc=None, miss_latency=None, miss_addr=None, cycles=100,
+    )
+    base.update(kw)
+    return Sample(**base)
+
+
+class TestSample:
+    def test_paper_fields_present(self):
+        sample = _sample()
+        # §3.1: index, PC, pid, tid, cpu, 4 counters, BTB entries,
+        # miss instruction/latency/line, timestamp
+        assert sample.index == 0 and sample.pid == 7
+        assert sample.thread_id == 1 and sample.cpu_id == 1
+        assert len(sample.counters) == 4
+        assert sample.btb and sample.cycles == 100
+
+    def test_miss_line_derivation(self):
+        sample = _sample(miss_pc=0x100, miss_latency=190, miss_addr=0x8000_0088)
+        assert sample.has_miss()
+        assert sample.miss_line == 0x8000_0088 >> 7
+
+    def test_no_miss(self):
+        sample = _sample()
+        assert not sample.has_miss() and sample.miss_line is None
+
+    def test_frozen(self):
+        sample = _sample()
+        try:
+            sample.pc = 0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,75 @@
+"""Continuous re-adaptation across a phase change (the C and R in COBRA).
+
+Phase 1 runs DAXPY over a cache-resident slice where aggressive
+prefetching causes coherent misses — COBRA deploys noprefetch.  Phase 2
+switches the same loop to a streaming working set where prefetching is
+essential — the deployed trace now hurts, the windowed CPI degrades,
+and COBRA rolls the deployment back, restoring the original bundles.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.compiler import StreamLoop, Term
+from repro.config import itanium2_smp
+from repro.core import run_with_cobra
+from repro.cpu import Machine
+from repro.runtime import ParallelProgram
+
+SMALL = 2048      # fits the scale-4 L2s: coherence-dominated
+LARGE = 32768     # streams through L3: prefetch-dependent
+P1_REPS = 16
+P2_REPS = 6
+
+
+def _phase_program(machine):
+    prog = ParallelProgram(machine, "phases")
+    prog.array("x", LARGE, np.arange(LARGE, dtype=float))
+    prog.array("y", LARGE, 1.0)
+    fn = prog.kernel(
+        StreamLoop("daxpy", dest="y", terms=(Term("y", 1.0, 0), Term("x", 2.0, 0)))
+    )
+    prog.parallel_for(fn, SMALL, 4)   # phase 1: small slice
+    prog.phase_break()
+    prog.parallel_for(fn, LARGE, 4)   # phase 2: the whole array
+    prog.build(outer_reps=[P1_REPS, P2_REPS])
+    return prog
+
+
+def _verify(prog):
+    y = prog.f64("y")[:LARGE]
+    x = np.arange(LARGE, dtype=float)
+    expect = 1.0 + 2.0 * x * (P1_REPS + P2_REPS)
+    expect[SMALL:] = 1.0 + 2.0 * x[SMALL:] * P2_REPS
+    return np.allclose(y, expect)
+
+
+def test_phase_change_triggers_deploy_then_rollback():
+    machine = Machine(itanium2_smp(4, scale=4))
+    prog = _phase_program(machine)
+    config = dataclasses.replace(machine.config.cobra, optimize_interval=30_000)
+    result, report = run_with_cobra(prog, "noprefetch", config=config)
+    assert _verify(prog), "numerics must survive deploy AND rollback"
+
+    kinds = [e.kind for e in report.events]
+    assert "deploy" in kinds, "phase 1 must trigger the noprefetch deployment"
+    assert "rollback" in kinds, "phase 2 must trigger the re-adaptation rollback"
+    first_deploy = kinds.index("deploy")
+    assert "rollback" in kinds[first_deploy:], "rollback follows the deployment"
+    # the phase-change rollback cites the evaporated justification
+    reasons = [e.reason for e in report.events if e.kind == "rollback"]
+    assert any("coherent ratio" in r or "CPI" in r for r in reasons)
+    # once phase 2's behaviour is established, the gate holds: by the end
+    # of the run no trace is deployed on the streaming loop
+    assert not report.deployments, "phase 2 must end with the original binary"
+    # and most phase-2 wakes are gate-skips, not churn
+    gate_skips = [e for e in report.events if "below threshold" in e.reason]
+    assert len(gate_skips) >= 3
+
+
+def test_phased_program_numerics_without_cobra():
+    machine = Machine(itanium2_smp(4, scale=4))
+    prog = _phase_program(machine)
+    prog.run(max_bundles=400_000_000)
+    assert _verify(prog)

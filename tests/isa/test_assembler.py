@@ -1,0 +1,158 @@
+"""Assembler: parsing, packing, round-trips with the disassembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble, parse_instruction
+from repro.isa.disassembler import format_instruction, format_predicated
+from repro.isa.instructions import Instruction, Op
+
+
+class TestParseInstruction:
+    CASES = [
+        ("nop.i 0", Op.NOP),
+        ("add r1=r2,r3", Op.ADD),
+        ("add r41=16,r43", Op.ADDI),
+        ("sub r1=r2,r3", Op.SUB),
+        ("and r1=r2,r3", Op.AND),
+        ("shl r1=r2,3", Op.SHL),
+        ("shladd r9=r8,3,r18", Op.SHLADD),
+        ("mov r1=r2", Op.MOV),
+        ("mov r1=42", Op.MOVI),
+        ("movl r1=0x80000000", Op.MOVI),
+        ("cmp.lt p6,p7=r8,r9", Op.CMP_LT),
+        ("cmp.eq p6,p7=r8,15", Op.CMPI_EQ),
+        ("mov ar.lc=99", Op.MOV_LC_IMM),
+        ("mov ar.lc=r15", Op.MOV_LC_REG),
+        ("mov ar.ec=3", Op.MOV_EC_IMM),
+        ("mov pr.rot=0x10000", Op.MOV_PR_ROT),
+        ("alloc rot=8", Op.ALLOC),
+        ("clrrrb", Op.CLRRRB),
+        ("ld8 r1=[r2]", Op.LD8),
+        ("ld8 r1=[r2],8", Op.LD8),
+        ("ld8.bias r1=[r2]", Op.LD8),
+        ("st8 [r2]=r3,8", Op.ST8),
+        ("ldfd f32=[r2],8", Op.LDFD),
+        ("stfd [r40]=f46", Op.STFD),
+        ("lfetch.nt1 [r10]", Op.LFETCH),
+        ("lfetch.excl.nt1 [r43]", Op.LFETCH),
+        ("lfetch [r2],128", Op.LFETCH),
+        ("fetchadd8 r8=[r25],1", Op.FETCHADD8),
+        ("fma.d f44=f6,f37,f43", Op.FMA),
+        ("fadd.d f10=f10,f32", Op.FADD),
+        ("fabs f2=f3", Op.FABS),
+        ("setf.d f2=r3", Op.SETF),
+        ("getf.d r3=f2", Op.GETF),
+        ("br .loop", Op.BR),
+        ("br.cond.sptk .loop", Op.BR_COND),
+        ("br.ctop.sptk .b1_22", Op.BR_CTOP),
+        ("br.cloop.sptk .loop", Op.BR_CLOOP),
+        ("br.wtop.sptk .loop", Op.BR_WTOP),
+        ("br.call fn", Op.BR_CALL),
+        ("br.ret", Op.BR_RET),
+        ("halt", Op.HALT),
+    ]
+
+    @pytest.mark.parametrize("text,op", CASES)
+    def test_mnemonics(self, text, op):
+        assert parse_instruction(text).op is op
+
+    def test_predication_prefix(self):
+        instr = parse_instruction("(p16) ldfd f32=[r2],8")
+        assert instr.qp == 16 and instr.op is Op.LDFD and instr.imm == 8
+
+    def test_lfetch_flags(self):
+        instr = parse_instruction("lfetch.excl.nt1 [r43]")
+        assert instr.excl and instr.hint == "nt1" and instr.r2 == 43
+
+    def test_bias_flag(self):
+        assert parse_instruction("ld8.bias r1=[r2]").excl
+
+    def test_fp_mov_pseudo(self):
+        instr = parse_instruction("mov f10=0")
+        assert instr.op is Op.FADD and instr.r2 == 0 and instr.r3 == 0
+        instr = parse_instruction("mov f10=f5")
+        assert instr.op is Op.FADD and instr.r2 == 5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1=r2",
+            "add f1=r2,r3",
+            "ld8 r1=[f2]",
+            "cmp.zz p1,p2=r3,r4",
+            "mov f10=3",
+            "alloc x=3",
+            "br.zork .loop",
+        ],
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(AssemblyError):
+            parse_instruction(bad)
+
+
+class TestAssemble:
+    def test_explicit_bundles_and_labels(self):
+        image = assemble(
+            """
+            .loop:
+            { .mmi
+              (p16) ldfd f32=[r2],8
+              (p16) lfetch.nt1 [r43]
+              add r41=16,r43
+            }
+            br.ctop.sptk .loop
+            halt
+            """
+        )
+        assert image.labels[".loop"] == image.base
+        br = image.fetch_bundle(image.base + 16).slots[2]
+        assert br.op is Op.BR_CTOP and br.imm == image.base
+
+    def test_loose_packing_max_two_memory_ops(self):
+        image = assemble(
+            """
+            ldfd f32=[r2],8
+            ldfd f33=[r3],8
+            ldfd f34=[r4],8
+            halt
+            """
+        )
+        first = image.fetch_bundle(image.base)
+        mems = sum(1 for s in first.slots if s.is_memory)
+        assert mems <= 3  # packer keeps them in order; bundles legal
+
+    def test_branch_lands_in_last_slot(self):
+        image = assemble("br .x\n.x:\nhalt\n")
+        bundle = image.fetch_bundle(image.base)
+        assert bundle.slots[2].op is Op.BR
+
+    def test_unterminated_bundle(self):
+        with pytest.raises(AssemblyError):
+            assemble("{ .mmi\n nop.i 0\n")
+
+    def test_nested_bundle(self):
+        with pytest.raises(AssemblyError):
+            assemble("{ .mmi\n{ .mmi\n")
+
+    def test_label_inside_bundle(self):
+        with pytest.raises(AssemblyError):
+            assemble("{ .mmi\n.x:\n")
+
+    def test_comments_ignored(self):
+        image = assemble("// a comment\nhalt // trailing\n")
+        assert len(image) == 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text,_", TestParseInstruction.CASES)
+    def test_format_parse_round_trip(self, text, _):
+        instr = parse_instruction(text)
+        if instr.label is not None:
+            return  # symbolic targets need an image to resolve
+        again = parse_instruction(format_instruction(instr))
+        assert again == instr
+
+    def test_predicated_round_trip(self):
+        instr = parse_instruction("(p18) stfd [r17]=f61,8")
+        assert parse_instruction(format_predicated(instr)) == instr

@@ -1,0 +1,120 @@
+"""Binary images: layout, symbols, linking, patching, static analysis."""
+
+import pytest
+
+from repro.errors import BinaryError
+from repro.isa.binary import BinaryImage, pc_bundle, pc_slot
+from repro.isa.bundle import Bundle
+from repro.isa.instructions import Instruction, Op, nop
+
+
+def _bundle(*instrs):
+    slots = list(instrs)
+    while len(slots) < 3:
+        slots.append(nop("I"))
+    return Bundle(slots)
+
+
+class TestLayout:
+    def test_append_advances_by_16(self):
+        image = BinaryImage(0x1000)
+        a = image.append(_bundle(nop()))
+        b = image.append(_bundle(nop()))
+        assert (a, b) == (0x1000, 0x1010)
+        assert len(image) == 2
+        assert a in image and 0x1020 not in image
+
+    def test_base_must_be_aligned(self):
+        with pytest.raises(BinaryError):
+            BinaryImage(0x1001)
+
+    def test_pc_helpers(self):
+        assert pc_bundle(0x1012) == 0x1010
+        assert pc_slot(0x1012) == 2
+
+    def test_fetch_errors(self):
+        image = BinaryImage(0x1000)
+        with pytest.raises(BinaryError):
+            image.fetch_bundle(0x1000)
+
+    def test_fetch_slot(self):
+        image = BinaryImage(0x1000)
+        add = Instruction(Op.ADD, r1=1, r2=2, r3=3)
+        image.append(_bundle(nop(), add))
+        assert image.fetch(0x1001) == add
+
+
+class TestSymbolsAndLinking:
+    def test_mark_and_duplicate(self):
+        image = BinaryImage(0x1000)
+        image.mark("entry")
+        image.append(_bundle(nop()))
+        with pytest.raises(BinaryError):
+            image.mark("entry")
+
+    def test_link_resolves_labels(self):
+        image = BinaryImage(0x1000)
+        image.mark("loop")
+        image.append(_bundle(Instruction(Op.BR, label="loop", unit="B")))
+        image.link()
+        br = image.fetch(0x1000)
+        assert br.imm == 0x1000 and br.label is None
+
+    def test_link_undefined_label(self):
+        image = BinaryImage(0x1000)
+        image.append(_bundle(Instruction(Op.BR, label="nowhere", unit="B")))
+        with pytest.raises(BinaryError):
+            image.link()
+
+    def test_regions(self):
+        image = BinaryImage(0x1000)
+        image.mark_region("k", 0x1000, 0x1020)
+        assert image.regions["k"] == (0x1000, 0x1020)
+        with pytest.raises(BinaryError):
+            image.mark_region("k", 0, 1)
+
+
+class TestPatching:
+    def _image_with_lfetch(self):
+        image = BinaryImage(0x1000)
+        lf = Instruction(Op.LFETCH, r2=2, hint="nt1", unit="M")
+        image.append(_bundle(lf, Instruction(Op.ADD, r1=1, r2=2, r3=3)))
+        return image
+
+    def test_patch_slot_journals(self):
+        image = self._image_with_lfetch()
+        image.patch_slot(0x1000, 0, nop("M"), reason="noprefetch")
+        assert image.fetch(0x1000).op is Op.NOP
+        assert image.fetch(0x1001).op is Op.ADD  # other slots untouched
+        assert len(image.patches) == 1
+        assert image.patches[0].reason == "noprefetch"
+
+    def test_patch_bundle_and_revert(self):
+        image = self._image_with_lfetch()
+        redirect = _bundle(nop("M"), nop("I"), Instruction(Op.BR, imm=0x5000, unit="B"))
+        original = image.fetch_bundle(0x1000)
+        image.patch_bundle(0x1000, redirect)
+        assert image.fetch_bundle(0x1000) == redirect
+        image.revert_patch(image.patches[0])
+        assert image.fetch_bundle(0x1000) == original
+        assert len(image.patches) == 2  # the revert is journaled too
+
+    def test_revert_detects_interleaved_change(self):
+        image = self._image_with_lfetch()
+        image.patch_slot(0x1000, 0, nop("M"))
+        first = image.patches[0]
+        image.patch_slot(0x1000, 1, nop("I"))
+        with pytest.raises(BinaryError):
+            image.revert_patch(first)
+
+
+class TestStaticAnalysis:
+    def test_count_and_find(self):
+        image = BinaryImage(0x1000)
+        lf = Instruction(Op.LFETCH, r2=2, unit="M")
+        image.append(_bundle(lf, lf))
+        image.append(_bundle(nop("M")))
+        image.append(_bundle(lf))
+        assert image.count_ops(Op.LFETCH) == 3
+        assert image.count_ops(Op.LFETCH, (0x1000, 0x1010)) == 2
+        assert image.find_ops(Op.LFETCH) == [(0x1000, 0), (0x1000, 1), (0x1020, 0)]

@@ -1,0 +1,80 @@
+"""Bundle construction, templates, and slot replacement."""
+
+import pytest
+
+from repro.errors import BundleError
+from repro.isa.bundle import BUNDLE_BYTES, Bundle
+from repro.isa.instructions import Instruction, Op, nop
+
+
+def _ld():
+    return Instruction(Op.LDFD, r1=32, r2=2, imm=8, unit="M")
+
+
+def _fma():
+    return Instruction(Op.FMA, r1=32, r2=33, r3=34, r4=35)
+
+
+def _br():
+    return Instruction(Op.BR, imm=0x1000, unit="B")
+
+
+class TestConstruction:
+    def test_template_derived_from_units(self):
+        bundle = Bundle([_ld(), _fma(), _br()])
+        assert bundle.template == "mfb"
+
+    def test_explicit_template_validated(self):
+        Bundle([_ld(), nop("I"), _br()], "mib")
+        with pytest.raises(BundleError):
+            Bundle([_fma(), _ld(), _br()], "mib")  # fma in an M slot
+
+    def test_wrong_slot_count(self):
+        with pytest.raises(BundleError):
+            Bundle([_ld(), _fma()])
+        with pytest.raises(BundleError):
+            Bundle([_ld()] * 4)
+
+    def test_alu_ops_fit_m_and_i_slots(self):
+        add = Instruction(Op.ADD, r1=1, r2=2, r3=3)
+        Bundle([add, add, _br()], "mib")  # A-type allowed in M and I
+
+    def test_nops_fit_anywhere(self):
+        Bundle([nop("M"), nop("F"), nop("B")], "mfb")
+        Bundle([nop("I"), nop("I"), nop("I")], "mmb")
+
+    def test_bad_template(self):
+        with pytest.raises(BundleError):
+            Bundle([_ld(), nop(), nop()], "mi")
+        with pytest.raises(BundleError):
+            Bundle([_ld(), nop(), nop()], "qqq")
+
+    def test_bundle_bytes(self):
+        assert BUNDLE_BYTES == 16
+
+
+class TestWithSlot:
+    def test_replacement_returns_new_bundle(self):
+        bundle = Bundle([_ld(), _fma(), _br()])
+        lfetch = Instruction(Op.LFETCH, r2=34, hint="nt1", unit="M")
+        new = bundle.with_slot(0, lfetch)
+        assert new is not bundle
+        assert new.slots[0].op is Op.LFETCH
+        assert bundle.slots[0].op is Op.LDFD
+        assert new.template == bundle.template
+
+    def test_incompatible_replacement_rejected(self):
+        bundle = Bundle([_ld(), _fma(), _br()])
+        with pytest.raises(BundleError):
+            bundle.with_slot(1, _ld())  # memory op into the F slot
+
+    def test_index_bounds(self):
+        bundle = Bundle([_ld(), _fma(), _br()])
+        with pytest.raises(BundleError):
+            bundle.with_slot(3, nop())
+
+    def test_equality(self):
+        a = Bundle([_ld(), _fma(), _br()])
+        b = Bundle([_ld(), _fma(), _br()])
+        assert a == b and hash(a) == hash(b)
+        assert a != Bundle([nop("M"), _fma(), _br()])

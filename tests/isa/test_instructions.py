@@ -1,0 +1,60 @@
+"""Instruction objects: classification, cloning, equality."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    LOOP_BRANCH_OPS,
+    MEMORY_OPS,
+    Instruction,
+    Op,
+    nop,
+)
+
+
+class TestClassification:
+    def test_memory_ops(self):
+        assert Instruction(Op.LDFD, r1=32, r2=2, unit="M").is_memory
+        assert Instruction(Op.LFETCH, r2=2, unit="M").is_prefetch
+        assert Instruction(Op.FETCHADD8, r1=8, r2=2, imm=1, unit="M").is_memory
+        assert not Instruction(Op.FMA, r1=32, r2=33, r3=34, r4=35).is_memory
+
+    def test_branch_ops(self):
+        for op in (Op.BR, Op.BR_COND, Op.BR_CTOP, Op.BR_CLOOP, Op.BR_WTOP, Op.BR_CALL, Op.BR_RET):
+            assert Instruction(op, unit="B").is_branch
+        assert not Instruction(Op.ADD, r1=1, r2=2, r3=3).is_branch
+
+    def test_loop_branch_subset(self):
+        assert LOOP_BRANCH_OPS < BRANCH_OPS
+        assert Op.BR_CALL not in LOOP_BRANCH_OPS
+        assert Op.LFETCH in MEMORY_OPS
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.NOP, unit="Z")
+
+
+class TestCloneAndEquality:
+    def test_clone_changes_only_requested_fields(self):
+        lf = Instruction(Op.LFETCH, qp=16, r2=34, hint="nt1", unit="M")
+        excl = lf.clone(excl=True)
+        assert excl.excl and not lf.excl
+        assert excl.qp == 16 and excl.r2 == 34 and excl.hint == "nt1"
+        assert excl.op is Op.LFETCH
+
+    def test_clone_can_change_opcode(self):
+        instr = Instruction(Op.ADD, r1=1, r2=2, r3=3)
+        sub = instr.clone(op=Op.SUB)
+        assert sub.op is Op.SUB and sub.r1 == 1
+
+    def test_equality_and_hash(self):
+        a = Instruction(Op.ADDI, r1=5, r2=6, imm=16)
+        b = Instruction(Op.ADDI, r1=5, r2=6, imm=16)
+        c = Instruction(Op.ADDI, r1=5, r2=6, imm=17)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not an instruction"
+
+    def test_nop_units(self):
+        assert nop("M").unit == "M"
+        assert nop().op is Op.NOP

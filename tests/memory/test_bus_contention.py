@@ -1,0 +1,42 @@
+"""Bus arbitration: occupancy, queueing, and transaction accounting."""
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.memory import LOAD, PREFETCH
+
+BASE = 0x8000_0000
+
+
+class TestArbitration:
+    def test_back_to_back_requests_queue(self):
+        machine = Machine(itanium2_smp(2))
+        c0, c1 = machine.caches
+        occ = machine.config.bus.occupancy_data
+        # both CPUs miss different lines at the same instant
+        first = c0.access(0, BASE, LOAD)
+        second = c1.access(0, BASE + 128, LOAD)
+        assert second == first + occ, "the second request waits one occupancy"
+        assert machine.fabric.total_queue_cycles == occ
+
+    def test_idle_bus_has_no_wait(self):
+        machine = Machine(itanium2_smp(2))
+        c0, _ = machine.caches
+        occ = machine.config.bus.occupancy_data
+        c0.access(0, BASE, LOAD)
+        stall = c0.access(1_000_000, BASE + 128, LOAD)
+        assert stall == machine.config.latency.memory
+
+    def test_prefetch_charged_issue_bandwidth(self):
+        machine = Machine(itanium2_smp(1))
+        cache = machine.caches[0]
+        occ = machine.config.bus.occupancy_data
+        stall = cache.access(0, BASE, PREFETCH)
+        assert stall == occ, "non-blocking, but bandwidth-limited"
+
+    def test_transactions_counted(self):
+        machine = Machine(itanium2_smp(2))
+        c0, c1 = machine.caches
+        c0.access(0, BASE, LOAD)
+        c1.access(0, BASE, LOAD)
+        assert machine.fabric.total_transactions == 2
+        assert c0.events.bus_memory == 1 and c1.events.bus_memory == 1

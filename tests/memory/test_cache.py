@@ -1,0 +1,106 @@
+"""Set-associative tag array: LRU, eviction, capacity invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import CacheArray
+
+
+def _small(assoc=2, sets=4):
+    return CacheArray(CacheConfig(size_bytes=128 * assoc * sets, associativity=assoc))
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        cache = _small()
+        assert cache.insert(0) is None
+        assert 0 in cache and 1 not in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_within_set(self):
+        cache = _small(assoc=2, sets=4)
+        # lines 0, 4, 8 map to set 0 (line % 4)
+        cache.insert(0)
+        cache.insert(4)
+        victim = cache.insert(8)
+        assert victim == 0  # least recently used
+        assert 0 not in cache and 4 in cache and 8 in cache
+
+    def test_touch_promotes(self):
+        cache = _small(assoc=2, sets=4)
+        cache.insert(0)
+        cache.insert(4)
+        assert cache.touch(0)
+        victim = cache.insert(8)
+        assert victim == 4  # 0 was promoted
+
+    def test_touch_miss(self):
+        cache = _small()
+        assert not cache.touch(7)
+
+    def test_reinsert_promotes_without_eviction(self):
+        cache = _small(assoc=2, sets=4)
+        cache.insert(0)
+        cache.insert(4)
+        assert cache.insert(0) is None
+        assert cache.insert(8) == 4
+
+    def test_remove(self):
+        cache = _small()
+        cache.insert(3)
+        assert cache.remove(3)
+        assert not cache.remove(3)
+        assert 3 not in cache
+
+    def test_different_sets_do_not_interfere(self):
+        cache = _small(assoc=2, sets=4)
+        for line in range(8):  # two lines per set
+            assert cache.insert(line) is None
+        assert len(cache) == 8
+
+    def test_clear(self):
+        cache = _small()
+        cache.insert(1)
+        cache.clear()
+        assert len(cache) == 0 and 1 not in cache
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_capacity_never_exceeded(self, lines):
+        cache = _small(assoc=2, sets=4)
+        for line in lines:
+            cache.insert(line)
+            assert len(cache) <= 8
+        # per-set occupancy bounded by associativity
+        per_set = {}
+        for line in cache.lines():
+            per_set.setdefault(line % 4, []).append(line)
+        assert all(len(v) <= 2 for v in per_set.values())
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_matches_reference_lru_model(self, lines):
+        """The array behaves exactly like a per-set LRU list model."""
+        cache = _small(assoc=2, sets=4)
+        model: dict[int, list[int]] = {s: [] for s in range(4)}
+        for line in lines:
+            s = line % 4
+            victim = cache.insert(line)
+            if line in model[s]:
+                model[s].remove(line)
+                model[s].append(line)
+                expected_victim = None
+            else:
+                expected_victim = None
+                if len(model[s]) == 2:
+                    expected_victim = model[s].pop(0)
+                model[s].append(line)
+            assert victim == expected_victim
+        assert cache.lines() == {x for v in model.values() for x in v}
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=120))
+    def test_most_recent_line_always_present(self, lines):
+        cache = _small(assoc=2, sets=4)
+        for line in lines:
+            cache.insert(line)
+            assert line in cache

@@ -1,0 +1,48 @@
+"""MemEvents bookkeeping."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.events import MemEvents
+
+
+class TestMemEvents:
+    def test_starts_at_zero(self):
+        events = MemEvents()
+        assert all(v == 0 for v in events.snapshot().values())
+        assert events.coherent_ratio() == 0.0
+
+    def test_coherent_ratio(self):
+        events = MemEvents()
+        events.bus_memory = 100
+        events.bus_rd_hit = 10
+        events.bus_rd_hitm = 20
+        events.bus_rd_inval = 30
+        assert events.coherent_bus_events() == 60
+        assert abs(events.coherent_ratio() - 0.6) < 1e-12
+
+    def test_add_accumulates_all_fields(self):
+        a, b = MemEvents(), MemEvents()
+        a.loads, b.loads = 3, 4
+        a.writebacks, b.writebacks = 1, 2
+        a.add(b)
+        assert a.loads == 7 and a.writebacks == 3
+        assert b.loads == 4  # source untouched
+
+    def test_delta(self):
+        events = MemEvents()
+        events.l3_misses = 5
+        snap = events.snapshot()
+        events.l3_misses = 12
+        events.stores = 3
+        delta = events.delta(snap)
+        assert delta["l3_misses"] == 7 and delta["stores"] == 3
+        assert delta["loads"] == 0
+
+    @given(st.lists(st.sampled_from(list(MemEvents.__slots__)), max_size=50))
+    def test_snapshot_covers_every_counter(self, bumps):
+        events = MemEvents()
+        for name in bumps:
+            setattr(events, name, getattr(events, name) + 1)
+        snap = events.snapshot()
+        assert set(snap) == set(MemEvents.__slots__)
+        assert sum(snap.values()) == len(bumps)

@@ -1,0 +1,117 @@
+"""Cache hierarchy internals: inclusion, drains, cast-outs, DEAR capture."""
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.memory import (
+    EXCLUSIVE,
+    LOAD,
+    MODIFIED,
+    PREFETCH,
+    PREFETCH_EXCL,
+    SHARED,
+    STORE,
+)
+
+BASE = 0x8000_0000
+
+
+def _one_cpu():
+    machine = Machine(itanium2_smp(1))
+    return machine.caches[0]
+
+
+def _lines_to_fill_l2(cache):
+    return cache.l2.n_sets * cache.l2.associativity
+
+
+class TestLevels:
+    def test_l3_hit_after_l2_eviction(self):
+        cache = _one_cpu()
+        n_l2 = _lines_to_fill_l2(cache)
+        for i in range(n_l2 + 1):  # overflow L2 by one line
+            cache.access(0, BASE + 128 * i, LOAD)
+        # line 0 was evicted from L2 (same set as line n_l2) but stays in L3
+        stall = cache.access(0, BASE, LOAD)
+        assert stall == cache.lat.l3_hit
+        assert cache.events.l2_misses > cache.events.l3_misses
+
+    def test_l2_subset_of_l3_always(self):
+        cache = _one_cpu()
+        for i in range(3 * _lines_to_fill_l2(cache)):
+            cache.access(0, BASE + 128 * i, STORE if i % 3 else LOAD)
+        cache.check_inclusion()
+
+    def test_l3_eviction_of_dirty_line_writes_back(self):
+        cache = _one_cpu()
+        n_l3 = cache.l3.n_sets * cache.l3.associativity
+        cache.access(0, BASE, STORE)
+        for i in range(1, n_l3 + cache.l3.n_sets):
+            cache.access(0, BASE + 128 * i, LOAD)
+        assert cache.events.writebacks >= 1
+        assert cache.state_of(BASE >> 7) is None or True  # may or may not survive
+        cache.check_inclusion()
+
+    def test_dirty_l2_eviction_counts_drain(self):
+        cache = _one_cpu()
+        cache.access(0, BASE, STORE)  # dirty in L2
+        n_l2 = _lines_to_fill_l2(cache)
+        for i in range(1, n_l2 + 1):
+            cache.access(0, BASE + 128 * i, LOAD)
+        assert cache.events.l2_writebacks >= 1
+
+
+class TestExclCastOut:
+    def test_excl_prefetched_line_casts_out_on_l3_eviction(self):
+        cache = _one_cpu()
+        cache.access(0, BASE, PREFETCH_EXCL)
+        assert cache.state_of(BASE >> 7) == EXCLUSIVE
+        assert (BASE >> 7) in cache.excl_alloc
+        n_l3 = cache.l3.n_sets * cache.l3.associativity
+        for i in range(1, n_l3 + cache.l3.n_sets):
+            cache.access(0, BASE + 128 * i, LOAD)
+        # the exclusive-prefetched (never stored!) line wrote back
+        assert cache.events.writebacks >= 1
+
+    def test_plain_prefetched_line_evicts_clean(self):
+        cache = _one_cpu()
+        cache.access(0, BASE, PREFETCH)
+        n_l3 = cache.l3.n_sets * cache.l3.associativity
+        for i in range(1, n_l3 + cache.l3.n_sets):
+            cache.access(0, BASE + 128 * i, LOAD)
+        assert cache.events.writebacks == 0
+
+
+class TestDearCapture:
+    def test_memory_miss_above_threshold_recorded(self):
+        cache = _one_cpu()
+        cache.dear_threshold = 12
+        cache.access(0, BASE, LOAD)
+        assert cache.dear_pending == cache.lat.memory
+
+    def test_l3_hits_never_recorded(self):
+        cache = _one_cpu()
+        cache.dear_threshold = 12
+        cache.access(0, BASE, LOAD)
+        cache.dear_pending = None
+        n_l2 = _lines_to_fill_l2(cache)
+        for i in range(1, n_l2 + 1):
+            cache.access(0, BASE + 128 * i, LOAD)
+        cache.dear_pending = None
+        cache.access(0, BASE, LOAD)  # L3 hit
+        assert cache.dear_pending is None
+
+    def test_upgrade_latency_recorded_on_store(self):
+        machine = Machine(itanium2_smp(2))
+        c0, c1 = machine.caches
+        c0.dear_threshold = 180
+        c0.access(0, BASE, LOAD)
+        c1.access(0, BASE, LOAD)  # both share
+        c0.access(0, BASE, STORE)  # upgrade with a sharer
+        assert c0.dear_pending == c0.lat.upgrade
+        assert c0.lat.upgrade > 180  # classified coherent by the filter
+
+    def test_prefetch_never_records_dear(self):
+        cache = _one_cpu()
+        cache.dear_threshold = 0
+        cache.access(0, BASE, PREFETCH)
+        assert cache.dear_pending is None

@@ -1,0 +1,20 @@
+"""SimThread bookkeeping."""
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine, Scheduler
+from repro.isa import assemble
+from repro.runtime.thread import SimThread
+
+
+class TestSimThread:
+    def test_start_and_done(self):
+        machine = Machine(itanium2_smp(2))
+        image = assemble("halt\n")
+        machine.load_image(image)
+        thread = SimThread(tid=0, core=machine.cores[1], entry=image.base)
+        assert thread.done  # core starts halted
+        thread.start()
+        assert not thread.done
+        assert thread.cpu_id == 1
+        Scheduler(machine.cores).run_until_halt(100)
+        assert thread.done

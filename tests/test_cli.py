@@ -1,0 +1,43 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_daxpy_adaptive(self, capsys):
+        rc = main(["--scale", "4", "daxpy", "--reps", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified:        True" in out
+        assert "COBRA strategy=adaptive" in out
+
+    def test_daxpy_baseline(self, capsys):
+        rc = main(["--scale", "4", "daxpy", "--strategy", "baseline", "--reps", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "coherent ratio" in out and "COBRA" not in out
+
+    def test_npb_run(self, capsys):
+        rc = main(["npb", "ep", "--strategy", "baseline"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "verified:        True" in out
+
+    def test_table1(self, capsys):
+        rc = main(["table1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("bt", "sp", "lu", "ft", "mg", "cg", "ep", "is"):
+            assert name in out
+
+    def test_disasm_daxpy(self, capsys):
+        rc = main(["disasm", "daxpy"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "lfetch.nt1" in out and "br.ctop" in out
+
+    def test_disasm_unknown(self, capsys):
+        assert main(["disasm", "nope"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

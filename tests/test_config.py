@@ -1,0 +1,68 @@
+"""Machine configuration: scaling, validation, platform presets."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CobraConfig,
+    LatencyConfig,
+    MachineConfig,
+    itanium2_smp,
+    sgi_altix,
+)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(size_bytes=16 * 1024, associativity=8)
+        assert cache.n_lines == 128 and cache.n_sets == 16
+
+    def test_illegal_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=8)
+
+
+class TestPresets:
+    def test_smp_is_single_node(self):
+        cfg = itanium2_smp(4)
+        assert not cfg.is_numa and cfg.n_nodes == 1
+
+    def test_altix_is_two_cpus_per_node(self):
+        cfg = sgi_altix(8)
+        assert cfg.is_numa and cfg.cpus_per_node == 2 and cfg.n_nodes == 4
+
+    @pytest.mark.parametrize("scale", [1, 2, 4, 8, 16, 32])
+    def test_scaling_preserves_line_size(self, scale):
+        cfg = itanium2_smp(4, scale=scale)
+        assert cfg.l2.line_size == 128 and cfg.l3.line_size == 128
+        assert cfg.l2.size_bytes * scale == 256 * 1024
+
+    def test_latency_bands_match_the_paper(self):
+        lat = LatencyConfig()
+        # memory loads 120-150, coherent misses >180-200 (paper §4)
+        assert 120 <= lat.memory <= 150
+        assert lat.cache_to_cache >= 180
+        assert lat.remote_cache_to_cache > lat.cache_to_cache
+        assert lat.remote_memory > lat.memory
+
+    def test_cobra_filter_thresholds_are_consistent(self):
+        cobra = CobraConfig()
+        lat = LatencyConfig()
+        # the first-level filter excludes the L3-hit band
+        assert cobra.dear_latency_floor >= 12
+        # the second level separates memory (120-150) from coherent (>180)
+        assert lat.memory < cobra.coherent_latency_threshold < lat.cache_to_cache
+        assert lat.upgrade > cobra.coherent_latency_threshold
+
+    def test_with_cobra_returns_new_config(self):
+        cfg = itanium2_smp(4)
+        new = cfg.with_cobra(enable_rollback=False)
+        assert new.cobra.enable_rollback is False
+        assert cfg.cobra.enable_rollback is True
+
+    def test_invalid_machine(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                name="bad", n_cpus=3, cpus_per_node=2,
+                l2=CacheConfig(16 * 1024), l3=CacheConfig(192 * 1024, associativity=4),
+            )

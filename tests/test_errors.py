@@ -1,0 +1,46 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_assembly_error_carries_line(self):
+        err = errors.AssemblyError("bad", line=42)
+        assert err.line == 42 and "line 42" in str(err)
+        assert errors.AssemblyError("bad").line is None
+
+    def test_simulation_fault_formats_context(self):
+        err = errors.SimulationFault("boom", pc=0x40000000, cpu=2)
+        text = str(err)
+        assert "cpu 2" in text and "0x40000000" in text and "boom" in text
+
+    def test_isa_errors_are_isa(self):
+        for cls in (
+            errors.AssemblyError,
+            errors.RegisterError,
+            errors.BundleError,
+            errors.BinaryError,
+        ):
+            assert issubclass(cls, errors.IsaError)
+
+    def test_cobra_errors(self):
+        assert issubclass(errors.TraceCacheError, errors.CobraError)
+
+    def test_catchable_at_the_api_boundary(self):
+        from repro.config import CacheConfig
+
+        with pytest.raises(ValueError):
+            # config validation is plain ValueError (stdlib dataclasses)
+            CacheConfig(size_bytes=7)
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("x")

@@ -1,0 +1,42 @@
+"""DAXPY workload builder: verification, sizes, plans."""
+
+import pytest
+
+from repro.compiler import NO_PREFETCH
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.errors import WorkloadError
+from repro.workloads import build_daxpy, verify_daxpy, working_set_elems
+from repro.workloads.daxpy import DAXPY_CLASSES
+
+
+class TestWorkingSets:
+    def test_classes_scale(self):
+        # 128K class, scale 4: 128K/4/2 arrays/8B = 2048 elements
+        assert working_set_elems("128K", 4) == 2048
+        assert working_set_elems("2M", 16) == 8192
+        assert set(DAXPY_CLASSES) == {"128K", "512K", "2M"}
+
+    def test_unknown_class(self):
+        with pytest.raises(WorkloadError):
+            working_set_elems("4M", 4)
+
+
+class TestBuildRun:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_numerics_per_thread_count(self, threads):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = build_daxpy(machine, 512, threads, outer_reps=3, a=1.5)
+        prog.run(max_bundles=20_000_000)
+        assert verify_daxpy(prog, 3, a=1.5)
+
+    def test_noprefetch_plan_still_correct(self):
+        machine = Machine(itanium2_smp(4, scale=4))
+        prog = build_daxpy(machine, 512, 4, outer_reps=4, plan=NO_PREFETCH)
+        prog.run(max_bundles=20_000_000)
+        assert verify_daxpy(prog, 4)
+
+    def test_too_small_working_set_rejected(self):
+        machine = Machine(itanium2_smp(4))
+        with pytest.raises(WorkloadError):
+            build_daxpy(machine, 32, 4, outer_reps=1)
