@@ -21,7 +21,9 @@ Subpackages:
 - :mod:`repro.compiler` — kernel templates -> prefetch-aggressive code;
 - :mod:`repro.core` — COBRA itself (the paper's contribution);
 - :mod:`repro.workloads` — DAXPY and the NPB-like suite;
-- :mod:`repro.analysis` — normalized metrics and paper-style tables.
+- :mod:`repro.analysis` — normalized metrics and paper-style tables;
+- :mod:`repro.validate` — coherence invariant checker, differential
+  (optimized vs baseline) execution harness, ISA round-trip checks.
 """
 
 from .config import (
@@ -33,6 +35,7 @@ from .config import (
 from .cpu import Machine, Scheduler
 from .core import Cobra, CobraReport, run_with_cobra
 from .runtime import ParallelProgram, RunResult
+from .validate import CoherenceChecker, DifferentialHarness
 from .workloads import BENCHMARKS, REPORTED, build_daxpy, verify_daxpy, working_set_elems
 
 __version__ = "1.0.0"
@@ -49,6 +52,8 @@ __all__ = [
     "run_with_cobra",
     "ParallelProgram",
     "RunResult",
+    "CoherenceChecker",
+    "DifferentialHarness",
     "BENCHMARKS",
     "REPORTED",
     "build_daxpy",

@@ -6,6 +6,7 @@ Examples::
     python -m repro npb cg --machine altix8 --strategy noprefetch
     python -m repro table1
     python -m repro disasm daxpy
+    python -m repro validate --workloads daxpy cg mg
 """
 
 from __future__ import annotations
@@ -18,6 +19,13 @@ from .config import itanium2_smp, sgi_altix
 from .core import run_with_cobra
 from .cpu import Machine
 from .isa import Op, disassemble
+from .validate import (
+    DifferentialHarness,
+    check_image,
+    daxpy_spec,
+    default_machines,
+    npb_spec,
+)
 from .workloads import BENCHMARKS, build_daxpy, verify_daxpy, working_set_elems
 
 __all__ = ["main"]
@@ -103,6 +111,39 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    failures = 0
+    machines = default_machines(args.threads, scale=args.scale)
+    for name in args.workloads:
+        if name == "daxpy":
+            spec = daxpy_spec(n_threads=args.threads, reps=args.reps)
+        elif name in BENCHMARKS:
+            spec = npb_spec(name, n_threads=args.threads, reps=args.reps)
+        else:
+            print(f"unknown workload {name!r}", file=sys.stderr)
+            return 2
+        report = DifferentialHarness(spec, machines, mode=args.mode).run()
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+
+        # ISA checks on the compiled image of this workload
+        machine = Machine(itanium2_smp(max(4, args.threads), scale=args.scale))
+        if name == "daxpy":
+            prog = build_daxpy(machine, 256, args.threads, 1)
+        else:
+            prog = BENCHMARKS[name].build(machine, args.threads, reps=1)
+        isa_violations = check_image(prog.image, mode="record")
+        status = "OK" if not isa_violations else "FAIL"
+        print(f"isa[{name}]: round-trip + patch/rollback over "
+              f"{len(prog.image)} bundle(s), {status}")
+        for violation in isa_violations:
+            print(f"  VIOLATION: {violation}")
+            failures += 1
+    print("validate:", "OK" if failures == 0 else f"{failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -136,6 +177,25 @@ def _parser() -> argparse.ArgumentParser:
     disasm = sub.add_parser("disasm", help="disassemble a compiled kernel")
     disasm.add_argument("kernel", help="'daxpy' or an NPB benchmark name")
     disasm.set_defaults(func=_cmd_disasm)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the correctness suite: coherence invariants, "
+        "differential (optimized vs baseline) bit-equality, ISA round-trips",
+    )
+    validate.add_argument(
+        "--workloads", nargs="+", default=["daxpy", "cg", "mg"],
+        help="'daxpy' and/or NPB benchmark names",
+    )
+    validate.add_argument("--threads", type=int, default=4)
+    validate.add_argument(
+        "--reps", type=int, default=2, help="outer repetitions per run"
+    )
+    validate.add_argument(
+        "--mode", choices=("strict", "record"), default="record",
+        help="strict raises on the first violation; record reports all",
+    )
+    validate.set_defaults(func=_cmd_validate)
 
     return parser
 

@@ -148,6 +148,13 @@ class CobraConfig:
     trace_cache_bundles: int = 4096
     #: Re-adaptation: revert a rewrite whose observed benefit is negative.
     enable_rollback: bool = True
+    #: Invariant checking (:mod:`repro.validate`): ``"off"`` (default),
+    #: ``"record"`` accumulates violations on the COBRA report, and
+    #: ``"strict"`` raises :class:`~repro.errors.InvariantViolation` on
+    #: the first broken invariant.  The ``REPRO_VALIDATE`` environment
+    #: variable overrides this at :class:`~repro.core.framework.Cobra`
+    #: construction (so CI can run any example under strict checking).
+    validate: str = "off"
 
 
 @dataclass(frozen=True)

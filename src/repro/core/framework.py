@@ -16,14 +16,16 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from ..config import CobraConfig
 from ..cpu.machine import Machine
 from ..cpu.scheduler import Scheduler
-from ..errors import CobraError
+from ..errors import CobraError, InvariantViolation
 from ..isa.binary import BinaryImage
 from ..runtime.team import ParallelProgram, RunResult
+from ..validate.checker import VALIDATE_MODES, CoherenceChecker
 from .monitor import MonitoringThread
 from .optimizer import OptEvent, OptimizationThread
 from .policy import STRATEGIES
@@ -40,6 +42,10 @@ class CobraReport:
     samples: int
     deployments: list[Deployment]
     events: list[OptEvent]
+    #: invariant checks performed / violations recorded when
+    #: ``CobraConfig.validate`` enabled the coherence checker
+    validate_checks: int = 0
+    violations: list[InvariantViolation] = field(default_factory=list)
 
     def summary(self) -> str:
         lines = [
@@ -54,6 +60,11 @@ class CobraReport:
         n_rollbacks = sum(1 for e in self.events if e.kind == "rollback")
         if n_rollbacks:
             lines.append(f"  {n_rollbacks} rollback(s)")
+        if self.validate_checks:
+            lines.append(
+                f"  validated {self.validate_checks} accesses, "
+                f"{len(self.violations)} invariant violation(s)"
+            )
         return "\n".join(lines)
 
 
@@ -81,6 +92,14 @@ class Cobra:
         self.optimizer = OptimizationThread(
             machine, program, self.monitors, self.trace_cache, self.config, strategy
         )
+        # invariant checking (repro.validate): the config knob, overridable
+        # per-process so CI can run any example/benchmark under strict mode
+        mode = os.environ.get("REPRO_VALIDATE", "").strip() or self.config.validate
+        if mode not in VALIDATE_MODES:
+            raise CobraError(
+                f"unknown validate mode {mode!r} (use one of {VALIDATE_MODES})"
+            )
+        self.checker = CoherenceChecker(machine, mode) if mode != "off" else None
         self._installed = False
 
     def install(self, scheduler: Scheduler) -> None:
@@ -89,12 +108,16 @@ class Cobra:
             raise CobraError("COBRA already installed on a scheduler")
         for monitor in self.monitors:
             monitor.start()
+        if self.checker is not None:
+            self.checker.attach()
         scheduler.add_tick_hook(self.optimizer.tick)
         self._installed = True
 
     def stop(self) -> None:
         for monitor in self.monitors:
             monitor.stop()
+        if self.checker is not None:
+            self.checker.detach()
 
     def report(self) -> CobraReport:
         return CobraReport(
@@ -102,6 +125,8 @@ class Cobra:
             samples=sum(m.samples_taken for m in self.monitors),
             deployments=self.optimizer.deployments(),
             events=list(self.optimizer.events),
+            validate_checks=self.checker.checks if self.checker else 0,
+            violations=list(self.checker.violations) if self.checker else [],
         )
 
 

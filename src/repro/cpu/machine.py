@@ -67,6 +67,24 @@ class Machine:
         for core in self.cores:
             core.add_image(image)
 
+    # -- validation -------------------------------------------------------------
+
+    def attach_validator(self, validator) -> None:
+        """Hook an invariant checker into every cache hierarchy.
+
+        Only one validator may be attached at a time (each cache has a
+        single observer slot on its access path).
+        """
+        for cache in self.caches:
+            if cache.validator is not None and cache.validator is not validator:
+                raise MachineError("another validator is already attached")
+        for cache in self.caches:
+            cache.validator = validator
+
+    def detach_validator(self) -> None:
+        for cache in self.caches:
+            cache.validator = None
+
     # -- aggregate observables ----------------------------------------------------
 
     def total_cycles(self) -> int:

@@ -90,3 +90,44 @@ class TraceCacheError(CobraError):
 
 class WorkloadError(ReproError):
     """Raised on invalid workload parameters."""
+
+
+class ValidationError(ReproError):
+    """Raised on invalid use of the validation subsystem itself."""
+
+
+class InvariantViolation(ValidationError):
+    """A documented invariant did not hold during a checked run.
+
+    Structured so tests and the ``repro validate`` CLI can report
+    exactly what broke: ``invariant`` names the violated rule,
+    ``line`` is the cache-line index involved (``None`` for ISA-level
+    violations), ``states`` maps cpu id -> MESI state letter at the
+    time of the check, and ``event`` describes the triggering access.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "",
+        line: int | None = None,
+        states: dict[int, str] | None = None,
+        event: object = None,
+    ) -> None:
+        self.invariant = invariant
+        self.line = line
+        self.states = dict(states) if states else {}
+        self.event = event
+        parts = []
+        if invariant:
+            parts.append(f"[{invariant}]")
+        parts.append(message)
+        if line is not None:
+            parts.append(f"line {line:#x}")
+        if self.states:
+            inner = ",".join(f"cpu{c}={s}" for c, s in sorted(self.states.items()))
+            parts.append(f"states {{{inner}}}")
+        if event is not None:
+            parts.append(f"on {event}")
+        super().__init__(" ".join(parts))

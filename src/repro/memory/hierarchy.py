@@ -58,6 +58,7 @@ class CpuCacheSystem:
         "excl_alloc",
         "events",
         "fabric",
+        "validator",
         "lat",
         "_sf",
         "_occ_data",
@@ -88,12 +89,27 @@ class CpuCacheSystem:
         # latency the PMU reports; the core attaches the faulting PC)
         self.dear_threshold = 1 << 30
         self.dear_pending: int | None = None
+        # optional invariant checker (repro.validate); None on the hot path
+        self.validator = None
         fabric.attach(self)
 
     # -- main access path ---------------------------------------------------
 
     def access(self, now: int, addr: int, kind: int) -> int:
-        """Simulate one data access; return stall cycles."""
+        """Simulate one data access; return stall cycles.
+
+        When a validator is attached it observes the completed access —
+        after every coherence side effect, including fills and forced
+        evictions — so it can check the global line state.
+        """
+        validator = self.validator
+        if validator is None:
+            return self._access(now, addr, kind)
+        stall = self._access(now, addr, kind)
+        validator.after_access(self, addr >> LINE_SHIFT, kind)
+        return stall
+
+    def _access(self, now: int, addr: int, kind: int) -> int:
         line = addr >> LINE_SHIFT
         ev = self.events
         lat = self.lat
@@ -246,12 +262,17 @@ class CpuCacheSystem:
             vstate = self.state.pop(victim3, None)
             self.l2.remove(victim3)
             self.l2_dirty.discard(victim3)
+            wrote_back = False
             if vstate == MODIFIED:
                 extra += self.fabric.writeback(now, self, victim3)
+                wrote_back = True
             elif vstate == EXCLUSIVE and victim3 in self.excl_alloc:
                 # cast-out of an exclusively-prefetched (never stored) line
                 extra += self.fabric.writeback(now, self, victim3)
+                wrote_back = True
             self.excl_alloc.discard(victim3)
+            if self.validator is not None:
+                self.validator.on_evict(self, victim3, vstate, wrote_back)
         victim2 = self.l2.insert(line)
         if victim2 is not None and victim2 in self.l2_dirty:
             self.l2_dirty.discard(victim2)

@@ -1,0 +1,57 @@
+"""Correctness validation subsystem.
+
+Three layers of mechanical checking back COBRA's claim that its binary
+rewrites are semantics-preserving:
+
+* :mod:`~repro.validate.checker` — a :class:`CoherenceChecker` that
+  observes every memory-hierarchy event and asserts the MESI/directory
+  invariants documented in :mod:`repro.memory.coherence`;
+* :mod:`~repro.validate.differential` — a :class:`DifferentialHarness`
+  that runs the same program under every optimization strategy and on
+  both machine models, requiring bit-identical outputs;
+* :mod:`~repro.validate.isa_check` — assemble/disassemble round-trip
+  fixpoints and patch/rollback byte-identity on binary images.
+
+Enable runtime checking with ``CobraConfig.validate`` (``"strict"`` or
+``"record"``), the ``REPRO_VALIDATE`` environment variable, or run the
+whole suite from the CLI: ``python -m repro validate``.
+"""
+
+from .checker import VALIDATE_MODES, AccessEvent, CoherenceChecker, EvictEvent
+from .differential import (
+    ALL_STRATEGIES,
+    DifferentialHarness,
+    DifferentialReport,
+    RunRecord,
+    WorkloadSpec,
+    daxpy_spec,
+    default_machines,
+    npb_spec,
+)
+from .isa_check import (
+    check_image,
+    check_patch_rollback,
+    check_roundtrip,
+    encode_image,
+    encode_instruction,
+)
+
+__all__ = [
+    "VALIDATE_MODES",
+    "AccessEvent",
+    "CoherenceChecker",
+    "EvictEvent",
+    "ALL_STRATEGIES",
+    "DifferentialHarness",
+    "DifferentialReport",
+    "RunRecord",
+    "WorkloadSpec",
+    "daxpy_spec",
+    "default_machines",
+    "npb_spec",
+    "check_image",
+    "check_patch_rollback",
+    "check_roundtrip",
+    "encode_image",
+    "encode_instruction",
+]

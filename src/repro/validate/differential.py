@@ -1,0 +1,263 @@
+"""Differential execution harness.
+
+Runs the *same* workload under every COBRA optimization strategy and on
+both machine models, then checks that the committed architectural
+results — the raw bytes of every program array — are bit-identical to
+the unoptimized baseline.  This is the correctness gate for runtime
+binary rewriting: lfetch→nop, lfetch→lfetch.excl, and trace deployment
+may shift coherence traffic and timing, but must never change what the
+program computes (cf. multi-version rewriters and BOLT, which treat
+output equivalence as the ship criterion).
+
+Each run executes on a **fresh machine** (programs are bound to their
+machine's memory), with a :class:`~repro.validate.checker.CoherenceChecker`
+attached, so every differential sweep is also a full invariant-checked
+run of both coherence backends.  Metric sanity is checked per run:
+counters must be internally consistent (coherent events cannot exceed
+bus transactions, an L3 miss implies an L2 miss, work was actually
+retired).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..config import itanium2_smp, sgi_altix
+from ..cpu.machine import Machine
+from ..errors import InvariantViolation, ValidationError
+from ..runtime.team import ParallelProgram, RunResult
+from .checker import CoherenceChecker
+
+__all__ = [
+    "WorkloadSpec",
+    "RunRecord",
+    "DifferentialReport",
+    "DifferentialHarness",
+    "daxpy_spec",
+    "npb_spec",
+    "default_machines",
+]
+
+#: The full strategy matrix: unoptimized baseline + every COBRA mode.
+ALL_STRATEGIES = ("none", "noprefetch", "excl", "adaptive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload the harness can rebuild on any machine."""
+
+    name: str
+    build: Callable[[Machine], ParallelProgram]
+    verify: Callable[[ParallelProgram], bool] | None = None
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Observables of one (machine, strategy) cell of the matrix."""
+
+    machine: str
+    strategy: str
+    cycles: int
+    retired: int
+    digest: str
+    arrays: Mapping[str, bytes]
+    verified: bool | None
+    checks: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.machine}/{self.strategy}"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential sweep."""
+
+    workload: str
+    records: list[RunRecord] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+    def summary(self) -> str:
+        checks = sum(r.checks for r in self.records)
+        lines = [
+            f"differential[{self.workload}]: {len(self.records)} run(s), "
+            f"{checks} coherence checks, "
+            f"{'OK' if self.ok else 'FAIL'}"
+        ]
+        for rec in self.records:
+            lines.append(
+                f"  {rec.label:24s} cycles={rec.cycles:<10d} "
+                f"digest={rec.digest[:12]} verified={rec.verified}"
+            )
+        for mismatch in self.mismatches:
+            lines.append(f"  MISMATCH: {mismatch}")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+def _snapshot_arrays(prog: ParallelProgram) -> dict[str, bytes]:
+    """Raw bytes of every program array (bit-exact, dtype-agnostic)."""
+    mem = prog.machine.mem
+    return {
+        name: mem.view_i64(alloc).tobytes()
+        for name, alloc in sorted(prog.arrays.items())
+    }
+
+
+def _digest(arrays: Mapping[str, bytes]) -> str:
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        h.update(name.encode())
+        h.update(arrays[name])
+    return h.hexdigest()
+
+
+class DifferentialHarness:
+    """Runs one workload across the strategy × machine matrix."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        machines: Mapping[str, Callable[[], Machine]] | None = None,
+        strategies: tuple[str, ...] = ALL_STRATEGIES,
+        mode: str = "strict",
+        max_bundles: int | None = None,
+    ) -> None:
+        if "none" not in strategies:
+            raise ValidationError("strategy matrix needs the 'none' baseline")
+        if mode not in ("record", "strict"):
+            raise ValidationError(
+                f"harness mode must be 'record' or 'strict', got {mode!r}"
+            )
+        self.workload = workload
+        self.machines = dict(machines) if machines is not None else default_machines()
+        self.strategies = strategies
+        self.mode = mode
+        self.max_bundles = max_bundles
+
+    def _execute(
+        self, mname: str, factory: Callable[[], Machine], strategy: str
+    ) -> tuple[RunRecord, RunResult, list[InvariantViolation]]:
+        # imported here: core.framework imports repro.validate at module
+        # scope, so the reverse import must be deferred
+        from ..core.framework import run_with_cobra
+
+        machine = factory()
+        prog = self.workload.build(machine)
+        checker = CoherenceChecker(machine, mode=self.mode)
+        with checker:
+            if strategy == "none":
+                result: RunResult = prog.run(max_bundles=self.max_bundles)
+            else:
+                result, _report = run_with_cobra(
+                    prog, strategy, max_bundles=self.max_bundles
+                )
+        arrays = _snapshot_arrays(prog)
+        verified = self.workload.verify(prog) if self.workload.verify else None
+        record = RunRecord(
+            machine=mname,
+            strategy=strategy,
+            cycles=result.cycles,
+            retired=result.retired,
+            digest=_digest(arrays),
+            arrays=arrays,
+            verified=verified,
+            checks=checker.checks,
+        )
+        return record, result, checker.violations
+
+    def _sanity(self, record: RunRecord, result: RunResult, out: list[str]) -> None:
+        ev = result.events
+        label = record.label
+        if record.cycles <= 0 or record.retired <= 0:
+            out.append(f"{label}: no work executed (cycles={record.cycles})")
+        if ev.coherent_bus_events() > ev.bus_memory:
+            out.append(f"{label}: coherent events exceed bus transactions")
+        if ev.l3_misses > ev.l2_misses:
+            out.append(f"{label}: more L3 misses than L2 misses")
+        if ev.l3_misses > ev.bus_memory:
+            out.append(f"{label}: L3 misses without bus transactions")
+        if record.verified is False:
+            out.append(f"{label}: workload numerical verification failed")
+
+    def run(self) -> DifferentialReport:
+        report = DifferentialReport(self.workload.name)
+        baselines: dict[str, RunRecord] = {}
+        for mname, factory in self.machines.items():
+            for strategy in self.strategies:
+                record, result, violations = self._execute(mname, factory, strategy)
+                report.records.append(record)
+                report.violations.extend(violations)
+                self._sanity(record, result, report.mismatches)
+                if strategy == "none":
+                    baselines[mname] = record
+                    continue
+                base = baselines[mname]
+                if record.digest != base.digest:
+                    for name, data in base.arrays.items():
+                        if record.arrays.get(name) != data:
+                            report.mismatches.append(
+                                f"{record.label}: array {name!r} differs "
+                                f"from the {base.label} baseline"
+                            )
+        # cross-machine: same program, same thread count -> same bits
+        first: RunRecord | None = None
+        for mname, base in baselines.items():
+            if first is None:
+                first = base
+            elif base.digest != first.digest:
+                report.mismatches.append(
+                    f"{base.label}: baseline output differs from {first.label} "
+                    "(SMP vs cc-NUMA divergence)"
+                )
+        return report
+
+
+# -- canned specs -------------------------------------------------------------
+
+
+def daxpy_spec(n_elems: int = 512, n_threads: int = 4, reps: int = 5) -> WorkloadSpec:
+    """The paper's DAXPY kernel as a differential workload."""
+    from ..workloads.daxpy import build_daxpy, verify_daxpy
+
+    return WorkloadSpec(
+        name=f"daxpy-n{n_elems}-t{n_threads}-r{reps}",
+        build=lambda machine: build_daxpy(machine, n_elems, n_threads, reps),
+        verify=lambda prog: verify_daxpy(prog, reps),
+    )
+
+
+def npb_spec(name: str, n_threads: int = 4, reps: int | None = None) -> WorkloadSpec:
+    """One NPB-like benchmark as a differential workload."""
+    from ..workloads import BENCHMARKS
+
+    bench = BENCHMARKS[name]
+    reps = reps or bench.default_reps
+    return WorkloadSpec(
+        name=f"{name}-t{n_threads}-r{reps}",
+        build=lambda machine: bench.build(machine, n_threads, reps=reps),
+        verify=lambda prog: bench.verify(prog, reps),
+    )
+
+
+def default_machines(n_threads: int = 4, scale: int = 16) -> dict[str, Callable[[], Machine]]:
+    """SMP-bus vs directory cc-NUMA, sized so both can host ``n_threads``.
+
+    Both machines run the workload with the *same* thread count so the
+    floating-point reduction order is identical and bit-equality holds
+    across coherence backends.
+    """
+    n_smp = max(4, n_threads)
+    n_numa = max(8, 2 * ((n_threads + 1) // 2))
+    return {
+        f"smp{n_smp}": lambda: Machine(itanium2_smp(n_smp, scale=scale)),
+        f"altix{n_numa}": lambda: Machine(sgi_altix(n_numa, scale=scale)),
+    }

@@ -74,3 +74,61 @@ class TestRendering:
         }
         text = format_fig3_table(results, ["128K"], [1, 2], ["prefetch", "noprefetch"])
         assert "128K" in text and "2.000" in text  # 2-thread bar normalized
+
+    def test_series_table_without_paper_row(self):
+        series = {"excl": ExperimentSeries("excl")}
+        series["excl"].add(_comparison("cg"))
+        text = format_series_table(series, "normalized_time", paper_row=None)
+        assert "cg" in text and "excl" in text
+        assert "paper" not in text
+        assert "0.800" in text  # 800/1000 normalized time
+
+    def test_series_table_fills_missing_paper_cells(self):
+        series = {"np": ExperimentSeries("np")}
+        series["np"].add(_comparison("zz"))  # not a paper benchmark
+        text = format_series_table(series, "speedup", {"avg": "1.10"})
+        row = [ln for ln in text.splitlines() if ln.startswith("paper")][0]
+        assert "-" in row and "1.10" in row
+
+    def test_fig3_table_multiple_working_sets(self):
+        results = {
+            (ws, t, s): base * t
+            for ws, base in (("128K", 100), ("2M", 400))
+            for t in (1, 2, 4)
+            for s in ("prefetch", "noprefetch")
+        }
+        text = format_fig3_table(
+            results, ["128K", "2M"], [1, 2, 4], ["prefetch", "noprefetch"]
+        )
+        assert "working set 128K" in text and "working set 2M" in text
+        assert "4.000" in text  # 4-thread bar, both sets normalize per-set
+
+
+class TestCobraReportSummary:
+    def test_summary_includes_rollbacks_and_validation(self):
+        from repro.core import CobraReport
+        from repro.core.optimizer import OptEvent
+        from repro.errors import InvariantViolation
+
+        report = CobraReport(
+            strategy="adaptive",
+            samples=12,
+            deployments=[],
+            events=[
+                OptEvent(retired=100, kind="deploy", loop_head=0x40, optimization="noprefetch", reason=""),
+                OptEvent(retired=200, kind="rollback", loop_head=0x40, optimization="noprefetch", reason="regressed"),
+            ],
+            validate_checks=512,
+            violations=[InvariantViolation("x", invariant="owner-alone")],
+        )
+        text = report.summary()
+        assert "strategy=adaptive" in text and "12 samples" in text
+        assert "1 rollback(s)" in text
+        assert "validated 512 accesses" in text
+        assert "1 invariant violation(s)" in text
+
+    def test_summary_omits_validation_when_disabled(self):
+        from repro.core import CobraReport
+
+        text = CobraReport("none", 0, [], []).summary()
+        assert "validated" not in text

@@ -41,3 +41,15 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_validate_daxpy(self, capsys):
+        rc = main(["validate", "--workloads", "daxpy", "--reps", "1", "--mode", "strict"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "differential[daxpy" in out
+        assert "coherence checks" in out
+        assert "isa[daxpy]: round-trip + patch/rollback" in out
+        assert "validate: OK" in out
+
+    def test_validate_unknown_workload(self, capsys):
+        assert main(["validate", "--workloads", "nope"]) == 2

@@ -44,3 +44,45 @@ class TestHierarchy:
             CacheConfig(size_bytes=7)
         with pytest.raises(errors.ReproError):
             raise errors.WorkloadError("x")
+
+
+class TestValidationErrors:
+    def test_validation_hierarchy(self):
+        assert issubclass(errors.ValidationError, errors.ReproError)
+        assert issubclass(errors.InvariantViolation, errors.ValidationError)
+        with pytest.raises(errors.ReproError):
+            raise errors.InvariantViolation("broken")
+
+    def test_invariant_violation_payload(self):
+        from repro.validate import AccessEvent
+
+        event = AccessEvent(cpu=1, line=0x100_0000, kind=1)
+        err = errors.InvariantViolation(
+            "two owners",
+            invariant="exclusive-owner",
+            line=0x100_0000,
+            states={0: "M", 1: "M"},
+            event=event,
+        )
+        assert err.invariant == "exclusive-owner"
+        assert err.line == 0x100_0000
+        assert err.states == {0: "M", 1: "M"}
+        assert err.event is event
+        text = str(err)
+        assert "[exclusive-owner]" in text
+        assert "two owners" in text
+        assert "line 0x1000000" in text
+        assert "states {cpu0=M,cpu1=M}" in text
+        assert "on cpu1 store" in text
+
+    def test_invariant_violation_minimal_form(self):
+        err = errors.InvariantViolation("just a message")
+        assert err.invariant == "" and err.line is None
+        assert err.states == {} and err.event is None
+        assert str(err) == "just a message"
+
+    def test_invariant_violation_copies_states(self):
+        states = {0: "S"}
+        err = errors.InvariantViolation("x", states=states)
+        states[1] = "M"
+        assert err.states == {0: "S"}

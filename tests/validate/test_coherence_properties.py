@@ -1,0 +1,98 @@
+"""Property tests: random access interleavings never break coherence.
+
+Hypothesis drives random sequences of (cpu, access kind, line) through
+both coherent fabrics — the snooping bus and the cc-NUMA directory —
+with a strict CoherenceChecker attached.  Any sequence that broke a
+MESI/directory invariant would raise and shrink to a minimal
+counterexample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import LINE_SIZE, itanium2_smp, sgi_altix
+from repro.cpu import Machine
+from repro.memory.hierarchy import (
+    ATOMIC,
+    LOAD,
+    LOAD_BIAS,
+    PREFETCH,
+    PREFETCH_EXCL,
+    STORE,
+)
+from repro.validate import CoherenceChecker
+
+BASE = 0x8000_0000
+KINDS = (LOAD, STORE, PREFETCH, PREFETCH_EXCL, LOAD_BIAS, ATOMIC)
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _ops(n_cpus: int, n_lines: int = 10, max_size: int = 80):
+    """Random interleavings of reads/stores/lfetch/lfetch.excl/ld8.bias."""
+    return st.lists(
+        st.tuples(
+            st.integers(0, n_cpus - 1),
+            st.sampled_from(KINDS),
+            st.integers(0, n_lines - 1),
+        ),
+        min_size=1,
+        max_size=max_size,
+    )
+
+
+def _drive(machine: Machine, ops, mode: str = "strict") -> CoherenceChecker:
+    checker = CoherenceChecker(machine, mode, structure_interval=16)
+    with checker:
+        for now, (cpu, kind, idx) in enumerate(ops):
+            machine.caches[cpu].access(now, BASE + idx * LINE_SIZE, kind)
+    return checker
+
+
+@settings(max_examples=60, **COMMON)
+@given(ops=_ops(4))
+def test_snooping_bus_holds_invariants(ops):
+    checker = _drive(Machine(itanium2_smp(4, scale=64)), ops)
+    assert checker.checks == len(ops)
+    assert checker.violations == []
+
+
+@settings(max_examples=60, **COMMON)
+@given(ops=_ops(4))
+def test_numa_directory_holds_invariants(ops):
+    checker = _drive(Machine(sgi_altix(4, scale=64)), ops)
+    assert checker.checks == len(ops)
+    assert checker.violations == []
+
+
+@settings(max_examples=30, **COMMON)
+@given(ops=_ops(2))
+def test_record_mode_agrees_with_strict(ops):
+    checker = _drive(Machine(itanium2_smp(2, scale=64)), ops, mode="record")
+    assert checker.violations == []
+
+
+@settings(max_examples=30, **COMMON)
+@given(ops=_ops(2, n_lines=160, max_size=120))
+def test_tiny_caches_evict_coherently(ops):
+    # scale=256 leaves ~96 L3 lines, so long runs force eviction and
+    # writeback traffic through every checker hook; inclusion and the
+    # dirty/excl bookkeeping must survive any interleaving
+    machine = Machine(itanium2_smp(2, scale=256))
+    checker = _drive(machine, ops)
+    assert checker.violations == []
+    for cache in machine.caches:
+        cache.check_inclusion()
+
+
+@settings(max_examples=20, **COMMON)
+@given(ops=_ops(8, n_lines=6, max_size=60))
+def test_many_cpu_directory_contention(ops):
+    # 8 CPUs over 6 lines maximizes invalidation/demotion churn on the
+    # directory fabric (4 nodes x 2 cpus)
+    checker = _drive(Machine(sgi_altix(8, scale=64)), ops)
+    assert checker.violations == []

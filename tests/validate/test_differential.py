@@ -1,0 +1,82 @@
+"""Differential regression tests: COBRA must never change program output.
+
+Each workload runs under every strategy (baseline, noprefetch, excl,
+adaptive) on both the snooping-bus SMP and the cc-NUMA directory
+machine, with a strict coherence checker attached; the committed array
+bytes must be identical (sha256) across the whole matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.errors import ValidationError
+from repro.validate import (
+    ALL_STRATEGIES,
+    DifferentialHarness,
+    WorkloadSpec,
+    daxpy_spec,
+    default_machines,
+    npb_spec,
+)
+from repro.workloads import build_daxpy
+
+
+def _assert_bitwise_identical(report, n_machines=2):
+    assert report.ok, report.summary()
+    expected_runs = n_machines * len(ALL_STRATEGIES)
+    assert len(report.records) == expected_runs
+    assert len({record.digest for record in report.records}) == 1
+    assert {record.strategy for record in report.records} == set(ALL_STRATEGIES)
+    assert all(record.checks > 0 for record in report.records)
+    assert "OK" in report.summary()
+
+
+def test_daxpy_identical_across_strategies_and_machines():
+    report = DifferentialHarness(
+        daxpy_spec(n_elems=256, n_threads=4, reps=3), default_machines(4)
+    ).run()
+    _assert_bitwise_identical(report)
+    assert all(record.verified is True for record in report.records)
+
+
+def test_npb_cg_identical_across_strategies_and_machines():
+    report = DifferentialHarness(npb_spec("cg", 4, reps=2), default_machines(4)).run()
+    _assert_bitwise_identical(report)
+    assert all(record.verified is True for record in report.records)
+
+
+def test_npb_mg_identical_across_strategies_and_machines():
+    report = DifferentialHarness(npb_spec("mg", 4, reps=1), default_machines(4)).run()
+    _assert_bitwise_identical(report)
+    assert all(record.verified is True for record in report.records)
+
+
+def test_output_divergence_is_reported():
+    # a workload that (wrongly) computes something different on every
+    # rebuild: the harness must flag the optimized runs against baseline
+    calls = {"n": 0}
+
+    def build(machine):
+        calls["n"] += 1
+        return build_daxpy(machine, 64, 2, 1, a=float(calls["n"]))
+
+    report = DifferentialHarness(
+        WorkloadSpec(name="mutant-daxpy", build=build),
+        {"smp2": lambda: Machine(itanium2_smp(2))},
+        strategies=("none", "adaptive"),
+    ).run()
+    assert not report.ok
+    assert any("differs" in text for text in report.mismatches)
+    assert "FAIL" in report.summary()
+    assert "MISMATCH" in report.summary()
+
+
+def test_harness_requires_baseline_and_valid_mode():
+    spec = daxpy_spec(n_elems=64, n_threads=2, reps=1)
+    with pytest.raises(ValidationError):
+        DifferentialHarness(spec, strategies=("adaptive", "excl"))
+    with pytest.raises(ValidationError):
+        DifferentialHarness(spec, mode="off")
