@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Standalone entry point for the hot-path perf harness.
+
+Equivalent to ``python -m repro bench``; exists so the perf suite can be
+run from a checkout without installing the package::
+
+    python benchmarks/perf/run.py --quick --out BENCH_perf.json
+
+See README.md in this directory for the report schema and how to compare
+two builds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,193 @@
+"""Repeatable performance harness for the simulator hot path.
+
+Times the simulate-execute loop on fixed workload/strategy/machine
+matrices and emits a machine-readable ``BENCH_perf.json``.  Two things
+matter and the harness reports both:
+
+* **speed** — wall seconds per case, simulated cycles per wall second,
+  retired instructions per wall second, PMU samples per wall second;
+* **fidelity** — the sha256 digest of the workload's output arrays and
+  the full memory-event counter snapshot per case.  The simulator is
+  deterministic, so these must be byte-identical between two builds of
+  the simulator; a hot-path "optimization" that changes them is a
+  semantics change, not a speedup.
+
+Cross-PR comparison: run ``repro bench --quick --out before.json`` on
+the old tree and the same command on the new tree, then compare
+``wall_s`` (speed) and ``digest``/``events`` (fidelity) per case id.
+
+Scale note: wall time is host-dependent; cycles/sec and digests are the
+portable parts of the report.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Iterable
+
+from .config import itanium2_smp, sgi_altix
+from .cpu import Machine
+from .core import run_with_cobra
+from .validate.differential import _digest, _snapshot_arrays
+from .workloads import BENCHMARKS, build_daxpy
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_MACHINES",
+    "BENCH_STRATEGIES",
+    "QUICK_BENCHMARKS",
+    "FULL_BENCHMARKS",
+    "run_case",
+    "run_bench",
+    "format_report",
+]
+
+#: Schema tag written into BENCH_perf.json (bump on layout changes).
+BENCH_SCHEMA = "repro-bench-perf/1"
+
+#: machine name -> (config factory, thread count)
+BENCH_MACHINES = {
+    "smp4": (lambda scale: itanium2_smp(4, scale=scale), 4),
+    "altix8": (lambda scale: sgi_altix(8, scale=scale), 8),
+}
+
+#: "none" is the raw simulator; the rest run under COBRA.
+BENCH_STRATEGIES = ("none", "noprefetch", "excl", "adaptive")
+
+#: benchmark name -> builder(machine, threads) for the timed workloads.
+#: Sizes are fixed here so reports stay comparable across PRs.
+_BUILDERS = {
+    "daxpy": lambda machine, threads: build_daxpy(
+        machine, 4096, threads, outer_reps=4
+    ),
+    "cg": lambda machine, threads: BENCHMARKS["cg"].build(machine, threads, reps=1),
+    "mg": lambda machine, threads: BENCHMARKS["mg"].build(machine, threads, reps=1),
+}
+
+QUICK_BENCHMARKS = ("daxpy", "cg")
+FULL_BENCHMARKS = ("daxpy", "cg", "mg")
+
+#: Fixed cache scale for all bench runs (matches the validate default).
+BENCH_SCALE = 16
+
+
+def run_case(
+    benchmark: str,
+    machine_name: str,
+    strategy: str,
+    samples: int = 3,
+) -> dict:
+    """Time one (benchmark, machine, strategy) case.
+
+    Each sample is a fresh machine and a fresh program build (builds are
+    not timed); the median wall time is the headline number.  Returns the
+    case dict of the BENCH_perf.json schema.
+    """
+    factory, threads = BENCH_MACHINES[machine_name]
+    build = _BUILDERS[benchmark]
+    sample_rows = []
+    digest = None
+    events = None
+    cycles = retired = pmu_samples = 0
+    for _ in range(max(1, samples)):
+        machine = Machine(factory(BENCH_SCALE))
+        prog = build(machine, threads)
+        t0 = time.perf_counter()
+        if strategy == "none":
+            result, report = prog.run(), None
+        else:
+            result, report = run_with_cobra(prog, strategy)
+        wall = time.perf_counter() - t0
+        cycles = result.cycles
+        retired = result.retired
+        pmu_samples = report.samples if report is not None else 0
+        sample_digest = _digest(_snapshot_arrays(prog))
+        sample_events = result.events.snapshot()
+        if digest is None:
+            digest, events = sample_digest, sample_events
+        elif (digest, events) != (sample_digest, sample_events):
+            raise AssertionError(
+                f"non-deterministic run: {benchmark}/{machine_name}/{strategy}"
+            )
+        sample_rows.append(round(wall, 6))
+    wall_median = sorted(sample_rows)[len(sample_rows) // 2]
+    return {
+        "id": f"{machine_name}/{benchmark}/{strategy}",
+        "benchmark": benchmark,
+        "machine": machine_name,
+        "strategy": strategy,
+        "threads": threads,
+        "scale": BENCH_SCALE,
+        "wall_s": sample_rows,
+        "wall_s_median": wall_median,
+        "sim_cycles": cycles,
+        "retired": retired,
+        "pmu_samples": pmu_samples,
+        "cycles_per_sec": round(cycles / wall_median) if wall_median else 0,
+        "retired_per_sec": round(retired / wall_median) if wall_median else 0,
+        "samples_per_sec": round(pmu_samples / wall_median, 2) if wall_median else 0,
+        "digest": digest,
+        "events": events,
+    }
+
+
+def run_bench(
+    benchmarks: Iterable[str] | None = None,
+    machines: Iterable[str] | None = None,
+    strategies: Iterable[str] | None = None,
+    samples: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Run the full matrix; return the BENCH_perf.json document."""
+    if quick:
+        benchmarks = benchmarks or QUICK_BENCHMARKS
+        machines = machines or ("smp4",)
+        samples = min(samples, 2)
+    else:
+        benchmarks = benchmarks or FULL_BENCHMARKS
+        machines = machines or tuple(BENCH_MACHINES)
+    strategies = strategies or BENCH_STRATEGIES
+    t0 = time.perf_counter()
+    cases = [
+        run_case(b, m, s, samples=samples)
+        for m in machines
+        for b in benchmarks
+        for s in strategies
+    ]
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": int(time.time()),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "quick": quick,
+        "samples_per_case": samples,
+        "cases": cases,
+        "totals": {
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "sim_cycles": sum(c["sim_cycles"] for c in cases),
+            "retired": sum(c["retired"] for c in cases),
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a bench report."""
+    header = f"{'case':<28} {'wall(s)':>9} {'Mcyc/s':>8} {'Minstr/s':>9} {'digest':>10}"
+    lines = [header, "-" * len(header)]
+    for case in report["cases"]:
+        lines.append(
+            f"{case['id']:<28} {case['wall_s_median']:>9.3f} "
+            f"{case['cycles_per_sec'] / 1e6:>8.2f} "
+            f"{case['retired_per_sec'] / 1e6:>9.2f} "
+            f"{case['digest'][:10]:>10}"
+        )
+    totals = report["totals"]
+    lines.append(
+        f"total wall {totals['wall_s']:.3f}s over "
+        f"{len(report['cases'])} case(s), {report['samples_per_case']} sample(s) each"
+    )
+    return "\n".join(lines)

@@ -14,9 +14,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+import json
+
 from .analysis import format_table1
+from .bench import BENCH_STRATEGIES, FULL_BENCHMARKS, format_report, run_bench
 from .config import itanium2_smp, sgi_altix
-from .core import run_with_cobra
+from .core import STRATEGIES, run_with_cobra
 from .cpu import Machine
 from .isa import Op, disassemble
 from .validate import (
@@ -34,6 +37,25 @@ MACHINES = {
     "smp4": (lambda scale: itanium2_smp(4, scale=scale), 4),
     "altix8": (lambda scale: sgi_altix(8, scale=scale), 8),
 }
+
+
+# Strategy names accepted at the CLI.  "baseline" (and its harness alias
+# "none") run the raw simulator; the rest come from the COBRA policy.
+CLI_STRATEGIES = ("baseline",) + STRATEGIES
+
+
+def _bad_strategy(name: str, valid: tuple[str, ...]) -> int:
+    """One-line diagnostic for an unknown strategy name; exit code 2.
+
+    Unknown names must be rejected here at the CLI boundary — letting
+    them reach ``decide()`` surfaces a raw ValueError traceback.
+    """
+    print(
+        f"repro: error: unknown strategy {name!r} "
+        f"(choose from: {', '.join(valid)})",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _machine(args) -> tuple[Machine, int]:
@@ -57,6 +79,8 @@ def _report_run(result, report, verified: bool | None) -> int:
 
 
 def _cmd_daxpy(args) -> int:
+    if args.strategy not in CLI_STRATEGIES:
+        return _bad_strategy(args.strategy, CLI_STRATEGIES)
     machine, threads = _machine(args)
     n = working_set_elems(args.working_set, machine.config.scale)
     prog = build_daxpy(machine, n, threads, outer_reps=args.reps)
@@ -68,6 +92,8 @@ def _cmd_daxpy(args) -> int:
 
 
 def _cmd_npb(args) -> int:
+    if args.strategy not in CLI_STRATEGIES:
+        return _bad_strategy(args.strategy, CLI_STRATEGIES)
     bench = BENCHMARKS[args.benchmark]
     machine, threads = _machine(args)
     reps = args.reps or bench.default_reps
@@ -112,6 +138,16 @@ def _cmd_disasm(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    strategies = None
+    if args.strategies:
+        valid = ("none",) + STRATEGIES
+        for name in args.strategies:
+            if name not in valid:
+                return _bad_strategy(name, valid)
+        # the harness needs the "none" reference run to diff against
+        strategies = tuple(args.strategies)
+        if "none" not in strategies:
+            strategies = ("none",) + strategies
     failures = 0
     machines = default_machines(args.threads, scale=args.scale)
     for name in args.workloads:
@@ -122,7 +158,12 @@ def _cmd_validate(args) -> int:
         else:
             print(f"unknown workload {name!r}", file=sys.stderr)
             return 2
-        report = DifferentialHarness(spec, machines, mode=args.mode).run()
+        harness = (
+            DifferentialHarness(spec, machines, strategies=strategies, mode=args.mode)
+            if strategies is not None
+            else DifferentialHarness(spec, machines, mode=args.mode)
+        )
+        report = harness.run()
         print(report.summary())
         if not report.ok:
             failures += 1
@@ -144,6 +185,33 @@ def _cmd_validate(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_bench(args) -> int:
+    for name in args.strategies or ():
+        if name not in BENCH_STRATEGIES:
+            return _bad_strategy(name, BENCH_STRATEGIES)
+    for name in args.benchmarks or ():
+        if name not in FULL_BENCHMARKS:
+            print(
+                f"repro: error: unknown benchmark {name!r} "
+                f"(choose from: {', '.join(FULL_BENCHMARKS)})",
+                file=sys.stderr,
+            )
+            return 2
+    report = run_bench(
+        benchmarks=args.benchmarks or None,
+        machines=args.machines or None,
+        strategies=tuple(args.strategies) if args.strategies else None,
+        samples=args.samples,
+        quick=args.quick,
+    )
+    print(format_report(report))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,9 +223,12 @@ def _parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--machine", choices=sorted(MACHINES), default="smp4")
     common.add_argument("--threads", type=int, default=0, help="0 = machine default")
+    # validated in the command handlers (one-line error, exit code 2)
+    # rather than by argparse, so library strategy additions and the
+    # error format stay in one place
     common.add_argument(
         "--strategy",
-        choices=("baseline", "noprefetch", "excl", "adaptive"),
+        metavar="{" + ",".join(CLI_STRATEGIES) + "}",
         default="adaptive",
     )
 
@@ -195,7 +266,41 @@ def _parser() -> argparse.ArgumentParser:
         "--mode", choices=("strict", "record"), default="record",
         help="strict raises on the first violation; record reports all",
     )
+    validate.add_argument(
+        "--strategies", nargs="+", default=None, metavar="STRATEGY",
+        help="strategy matrix for the differential harness "
+        "(default: none + all policies; 'none' is added if omitted)",
+    )
     validate.set_defaults(func=_cmd_validate)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the simulator hot path and write BENCH_perf.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small matrix (daxpy+cg on smp4, 2 samples) for CI smoke runs",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_perf.json", help="output JSON path"
+    )
+    bench.add_argument(
+        "--samples", type=int, default=3,
+        help="timing samples per case (median is reported)",
+    )
+    bench.add_argument(
+        "--benchmarks", nargs="+", default=None, metavar="BENCH",
+        help="subset of daxpy/cg/mg",
+    )
+    bench.add_argument(
+        "--machines", nargs="+", default=None, metavar="MACHINE",
+        choices=sorted(MACHINES), help="subset of machine models",
+    )
+    bench.add_argument(
+        "--strategies", nargs="+", default=None, metavar="STRATEGY",
+        help="subset of none/noprefetch/excl/adaptive",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -19,6 +19,7 @@ thread's noisy view never triggers a rewrite by itself.
 from __future__ import annotations
 
 from ..config import CobraConfig
+from ..hpm.counters import COUNTER_MASK
 from ..hpm.sample import Sample
 from .filters import MissProfile
 from .monitor import MonitoringThread
@@ -58,11 +59,17 @@ class SystemProfiler:
         prev = self._last_counters.get(sample.thread_id)
         cur = sample.counters
         if prev is not None:
-            dbus = cur[0] - prev[0]
-            dcoh = (cur[1] - prev[1]) + (cur[2] - prev[2]) + (cur[3] - prev[3])
-            if dbus >= 0 and dcoh >= 0:
-                self._bus_delta += dbus
-                self._coherent_delta += dcoh
+            # PMD registers are COUNTER_WIDTH bits and wrap; a snapshot
+            # that reads below its predecessor is a wraparound, not a
+            # decrease, so each delta is taken modulo the counter width.
+            # Each counter wraps independently — one wrapped counter must
+            # not discard the others' deltas.
+            self._bus_delta += (cur[0] - prev[0]) & COUNTER_MASK
+            self._coherent_delta += (
+                ((cur[1] - prev[1]) & COUNTER_MASK)
+                + ((cur[2] - prev[2]) & COUNTER_MASK)
+                + ((cur[3] - prev[3]) & COUNTER_MASK)
+            )
         self._last_counters[sample.thread_id] = cur
 
     # -- queries ---------------------------------------------------------------
@@ -90,5 +97,9 @@ class SystemProfiler:
             self.btb_pairs[pair] = int(self.btb_pairs[pair] * decay)
             if self.btb_pairs[pair] == 0:
                 del self.btb_pairs[pair]
-        self._bus_delta = int(self._bus_delta * decay)
-        self._coherent_delta = int(self._coherent_delta * decay)
+        # keep floats: int() truncation rounded the numerator and the
+        # denominator differently, so every window turnover perturbed
+        # coherent_ratio(); scaling both by the same factor ages the
+        # totals without moving the ratio they encode
+        self._bus_delta *= decay
+        self._coherent_delta *= decay

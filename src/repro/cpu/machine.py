@@ -79,11 +79,11 @@ class Machine:
             if cache.validator is not None and cache.validator is not validator:
                 raise MachineError("another validator is already attached")
         for cache in self.caches:
-            cache.validator = validator
+            cache.set_validator(validator)
 
     def detach_validator(self) -> None:
         for cache in self.caches:
-            cache.validator = None
+            cache.set_validator(None)
 
     # -- aggregate observables ----------------------------------------------------
 

@@ -6,7 +6,7 @@ profile sources COBRA's monitoring threads consume.
 """
 
 from .btb import BTB_PAIRS, BranchTraceBuffer
-from .counters import N_COUNTERS, PerformanceCounters
+from .counters import COUNTER_MASK, COUNTER_WIDTH, N_COUNTERS, PerformanceCounters
 from .dear import DataEventAddressRegister, DearRecord
 from .events import PmuEvent, read_event
 from .perfmon import PerfmonDriver, PerfmonSession
@@ -17,6 +17,8 @@ __all__ = [
     "BTB_PAIRS",
     "PerformanceCounters",
     "N_COUNTERS",
+    "COUNTER_WIDTH",
+    "COUNTER_MASK",
     "DataEventAddressRegister",
     "DearRecord",
     "PmuEvent",

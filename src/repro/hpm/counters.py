@@ -10,9 +10,14 @@ from .events import PmuEvent, read_event
 if TYPE_CHECKING:  # pragma: no cover
     from ..cpu.core import Core
 
-__all__ = ["PerformanceCounters", "N_COUNTERS"]
+__all__ = ["PerformanceCounters", "N_COUNTERS", "COUNTER_WIDTH", "COUNTER_MASK"]
 
 N_COUNTERS = 4
+
+#: Hardware PMD registers are fixed-width and wrap; consumers computing
+#: deltas between snapshots must subtract modulo this width.
+COUNTER_WIDTH = 48
+COUNTER_MASK = (1 << COUNTER_WIDTH) - 1
 
 
 class PerformanceCounters:
@@ -43,7 +48,7 @@ class PerformanceCounters:
         event = self._events[index]
         if event is None:
             raise HpmError(f"counter {index} not programmed")
-        return read_event(self.core, event) - self._base[index]
+        return (read_event(self.core, event) - self._base[index]) & COUNTER_MASK
 
     def reset(self, index: int) -> None:
         event = self._events[index]

@@ -8,6 +8,7 @@ assembler, and a disassembler that mirrors the paper's Figure 2 syntax.
 
 from .binary import BinaryImage, Patch, pc_bundle, pc_slot
 from .bundle import BUNDLE_BYTES, SLOTS_PER_BUNDLE, Bundle
+from .decode import DecodeCache, decode_bundle, decode_instruction, encode_bundle
 from .instructions import BRANCH_OPS, LOOP_BRANCH_OPS, MEMORY_OPS, Instruction, Op, nop
 from .registers import RegisterFile
 from .assembler import assemble, parse_instruction
@@ -21,6 +22,10 @@ __all__ = [
     "Bundle",
     "BUNDLE_BYTES",
     "SLOTS_PER_BUNDLE",
+    "DecodeCache",
+    "decode_bundle",
+    "decode_instruction",
+    "encode_bundle",
     "Instruction",
     "Op",
     "nop",

@@ -63,6 +63,9 @@ class BinaryImage:
         self.labels: dict[str, int] = {}
         self.regions: dict[str, tuple[int, int]] = {}
         self.patches: list[Patch] = []
+        #: bumped on every mutation; decode caches compare it against the
+        #: journal length to distinguish patches from structural changes
+        self.version = 0
         self._next = base
         self._linked = False
 
@@ -72,6 +75,7 @@ class BinaryImage:
         """Place ``bundle`` at the next free address; return the address."""
         addr = self._next
         self.bundles[addr] = bundle
+        self.version += 1
         self._next += BUNDLE_BYTES
         return addr
 
@@ -104,6 +108,7 @@ class BinaryImage:
                 if target is None:
                     raise BinaryError(f"undefined label {instr.label!r} at {addr:#x}")
                 bundle.slots[slot] = instr.clone(imm=target, label=None)
+        self.version += 1
         self._linked = True
 
     # -- fetch --------------------------------------------------------------
@@ -138,12 +143,14 @@ class BinaryImage:
         new = old.with_slot(slot, instr)
         self.bundles[addr] = new
         self.patches.append(Patch(addr, slot, old, new, reason))
+        self.version += 1
 
     def patch_bundle(self, addr: int, bundle: Bundle, reason: str = "") -> None:
         """Replace a whole bundle (trace-entry redirection)."""
         old = self.fetch_bundle(addr)
         self.bundles[addr] = bundle
         self.patches.append(Patch(addr, None, old, bundle, reason))
+        self.version += 1
 
     def revert_patch(self, patch: Patch) -> None:
         """Undo one journaled patch (adaptive rollback)."""
@@ -156,6 +163,7 @@ class BinaryImage:
         self.patches.append(
             Patch(patch.address, patch.slot, patch.new, patch.old, f"revert: {patch.reason}")
         )
+        self.version += 1
 
     # -- static analysis ------------------------------------------------------
 

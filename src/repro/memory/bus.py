@@ -37,9 +37,17 @@ class SnoopBus:
         self.busy_until = 0
         self.total_transactions = 0
         self.total_queue_cycles = 0
+        self._occ_data = config.occupancy_data
+        self._occ_ctrl = config.occupancy_ctrl
+        # per-requester snoop lists (everyone but the requester), so the
+        # per-transaction loop needs no identity filtering
+        self._peers: dict[int, list["CpuCacheSystem"]] = {}
 
     def attach(self, cache: "CpuCacheSystem") -> None:
         self.caches.append(cache)
+        self._peers = {
+            c.cpu_id: [o for o in self.caches if o is not c] for c in self.caches
+        }
 
     # -- arbitration ---------------------------------------------------
 
@@ -65,13 +73,16 @@ class SnoopBus:
         """
         lat = self.latency
         ev = requester.events
-        wait = self._acquire(now, self.config.occupancy_data)
+        busy = self.busy_until
+        start = busy if busy > now else now
+        self.busy_until = start + self._occ_data
+        self.total_transactions += 1
+        wait = start - now
+        self.total_queue_cycles += wait
         ev.bus_memory += 1
         hitm = False
         shared = False
-        for cache in self.caches:
-            if cache is requester:
-                continue
+        for cache in self._peers[requester.cpu_id]:
             resp = cache.snoop_read(line)
             if resp == MODIFIED:
                 hitm = True
@@ -94,13 +105,16 @@ class SnoopBus:
         """
         lat = self.latency
         ev = requester.events
-        wait = self._acquire(now, self.config.occupancy_data)
+        busy = self.busy_until
+        start = busy if busy > now else now
+        self.busy_until = start + self._occ_data
+        self.total_transactions += 1
+        wait = start - now
+        self.total_queue_cycles += wait
         ev.bus_memory += 1
         hitm = False
         invalidated = False
-        for cache in self.caches:
-            if cache is requester:
-                continue
+        for cache in self._peers[requester.cpu_id]:
             resp = cache.snoop_invalidate(line)
             if resp == MODIFIED:
                 hitm = True
@@ -122,14 +136,18 @@ class SnoopBus:
         Returns ``(queue_wait, latency)``.
         """
         ev = requester.events
-        wait = self._acquire(now, self.config.occupancy_ctrl)
+        busy = self.busy_until
+        start = busy if busy > now else now
+        self.busy_until = start + self._occ_ctrl
+        self.total_transactions += 1
+        wait = start - now
+        self.total_queue_cycles += wait
         ev.bus_memory += 1
         ev.upgrades += 1
         invalidated = False
-        for cache in self.caches:
-            if cache is not requester:
-                if cache.snoop_invalidate(line):
-                    invalidated = True
+        for cache in self._peers[requester.cpu_id]:
+            if cache.snoop_invalidate(line):
+                invalidated = True
         if invalidated:
             ev.bus_rd_inval += 1
             ev.coherent_misses += 1
@@ -139,7 +157,7 @@ class SnoopBus:
     def writeback(self, now: int, requester: "CpuCacheSystem", line: int) -> int:
         """Dirty L3 eviction to memory (posted; small drain cost)."""
         ev = requester.events
-        self._acquire(now, self.config.occupancy_data)
+        self._acquire(now, self._occ_data)
         ev.bus_memory += 1
         ev.writebacks += 1
         return self.latency.writeback

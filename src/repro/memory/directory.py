@@ -56,11 +56,19 @@ class DirectoryFabric:
         self._busy = [0] * n_nodes
         self.total_transactions = 0
         self.total_queue_cycles = 0
+        self._occ_data = config.occupancy_data
+        self._occ_ctrl = config.occupancy_ctrl
+        # per-requester snoop lists (everyone but the requester), so the
+        # per-transaction loop needs no identity filtering
+        self._peers: dict[int, list["CpuCacheSystem"]] = {}
 
     def attach(self, cache: "CpuCacheSystem") -> None:
         if cache.node_id >= self.n_nodes:
             raise ValueError(f"cpu {cache.cpu_id} on unknown node {cache.node_id}")
         self.caches.append(cache)
+        self._peers = {
+            c.cpu_id: [o for o in self.caches if o is not c] for c in self.caches
+        }
 
     # -- node-bus arbitration ------------------------------------------------
 
@@ -82,16 +90,14 @@ class DirectoryFabric:
         lat = self.latency
         ev = requester.events
         home = self._home(requester, line)
-        wait = self._acquire(requester.node_id, now, self.config.occupancy_data)
+        wait = self._acquire(requester.node_id, now, self._occ_data)
         if home != requester.node_id:
-            wait += self._acquire(home, now + wait, self.config.occupancy_data)
+            wait += self._acquire(home, now + wait, self._occ_data)
         ev.bus_memory += 1
 
         owner_node: int | None = None
         shared = False
-        for cache in self.caches:
-            if cache is requester:
-                continue
+        for cache in self._peers[requester.cpu_id]:
             resp = cache.snoop_read(line)
             if resp == MODIFIED:
                 owner_node = cache.node_id
@@ -113,17 +119,15 @@ class DirectoryFabric:
         lat = self.latency
         ev = requester.events
         home = self._home(requester, line)
-        wait = self._acquire(requester.node_id, now, self.config.occupancy_data)
+        wait = self._acquire(requester.node_id, now, self._occ_data)
         if home != requester.node_id:
-            wait += self._acquire(home, now + wait, self.config.occupancy_data)
+            wait += self._acquire(home, now + wait, self._occ_data)
         ev.bus_memory += 1
 
         owner_node: int | None = None
         remote_sharer = False
         local_sharer = False
-        for cache in self.caches:
-            if cache is requester:
-                continue
+        for cache in self._peers[requester.cpu_id]:
             resp = cache.snoop_invalidate(line)
             if resp == MODIFIED:
                 owner_node = cache.node_id
@@ -151,16 +155,14 @@ class DirectoryFabric:
         lat = self.latency
         ev = requester.events
         home = self._home(requester, line)
-        wait = self._acquire(requester.node_id, now, self.config.occupancy_ctrl)
+        wait = self._acquire(requester.node_id, now, self._occ_ctrl)
         if home != requester.node_id:
-            wait += self._acquire(home, now + wait, self.config.occupancy_ctrl)
+            wait += self._acquire(home, now + wait, self._occ_ctrl)
         ev.bus_memory += 1
         ev.upgrades += 1
         remote = False
         invalidated = False
-        for cache in self.caches:
-            if cache is requester:
-                continue
+        for cache in self._peers[requester.cpu_id]:
             if cache.snoop_invalidate(line):
                 invalidated = True
                 if cache.node_id != requester.node_id:
@@ -178,9 +180,9 @@ class DirectoryFabric:
     def writeback(self, now: int, requester: "CpuCacheSystem", line: int) -> int:
         ev = requester.events
         home = self._home(requester, line)
-        self._acquire(requester.node_id, now, self.config.occupancy_data)
+        self._acquire(requester.node_id, now, self._occ_data)
         if home != requester.node_id:
-            self._acquire(home, now, self.config.occupancy_data)
+            self._acquire(home, now, self._occ_data)
         ev.bus_memory += 1
         ev.writebacks += 1
         return self.latency.writeback

@@ -94,19 +94,33 @@ class MemorySystem:
         return off // _WORD
 
     # -- data access (functional correctness; timing lives in the caches) --
+    # The index arithmetic is inlined here (these run once per simulated
+    # memory instruction); _index keeps the precise error reporting.
 
     def read_f64(self, addr: int) -> float:
-        return float(self._f64[self._index(addr)])
+        off = addr - DATA_BASE
+        if off < 0 or off >= self.capacity or off & 7:
+            self._index(addr)
+        return float(self._f64[off >> 3])
 
     def write_f64(self, addr: int, value: float) -> None:
-        self._f64[self._index(addr)] = value
+        off = addr - DATA_BASE
+        if off < 0 or off >= self.capacity or off & 7:
+            self._index(addr)
+        self._f64[off >> 3] = value
 
     def read_i64(self, addr: int) -> int:
-        return int(self._i64[self._index(addr)])
+        off = addr - DATA_BASE
+        if off < 0 or off >= self.capacity or off & 7:
+            self._index(addr)
+        return int(self._i64[off >> 3])
 
     def write_i64(self, addr: int, value: int) -> None:
+        off = addr - DATA_BASE
+        if off < 0 or off >= self.capacity or off & 7:
+            self._index(addr)
         # wrap to signed 64-bit two's complement
-        self._i64[self._index(addr)] = ((value + (1 << 63)) % (1 << 64)) - (1 << 63)
+        self._i64[off >> 3] = ((value + (1 << 63)) % (1 << 64)) - (1 << 63)
 
     def view_f64(self, alloc: Allocation) -> np.ndarray:
         """Writable float64 view of an allocation (bulk init / checks)."""

@@ -65,6 +65,10 @@ class CpuCacheSystem:
         "_occ_ctrl",
         "dear_threshold",
         "dear_pending",
+        "access_fn",
+        "_l2_sets",
+        "_l2_nsets",
+        "_l2_hit",
     )
 
     def __init__(self, cpu_id: int, node_id: int, config: MachineConfig, fabric) -> None:
@@ -91,7 +95,21 @@ class CpuCacheSystem:
         self.dear_pending: int | None = None
         # optional invariant checker (repro.validate); None on the hot path
         self.validator = None
+        # Hot-path entry point the cores call.  Bound to ``_access`` while
+        # no validator is attached (skipping the wrapper's per-call check)
+        # and rebound to ``access`` by ``set_validator``.
+        self.access_fn = self._access
+        # L2 set dicts hoisted for the hit fast path in _access; reads
+        # the live tag array, so snoops and evictions need no hooks
+        self._l2_nsets = self.l2.n_sets
+        self._l2_sets = self.l2._sets
+        self._l2_hit = config.latency.l2_hit
         fabric.attach(self)
+
+    def set_validator(self, validator) -> None:
+        """Attach/detach an invariant checker, rebinding the hot path."""
+        self.validator = validator
+        self.access_fn = self._access if validator is None else self.access
 
     # -- main access path ---------------------------------------------------
 
@@ -111,6 +129,42 @@ class CpuCacheSystem:
 
     def _access(self, now: int, addr: int, kind: int) -> int:
         line = addr >> LINE_SHIFT
+
+        # L2-hit fast path against the tag array's own set dict: L2
+        # residency implies a tracked coherence state (L2 ⊆ L3), so the
+        # full path below would charge exactly ``l2_hit`` and make
+        # exactly the transitions replicated here; the del/re-insert is
+        # ``l2.touch``'s LRU promotion inlined.  SHARED stores (bus
+        # upgrade) and non-MODIFIED lfetch.excl (ownership/alloc
+        # bookkeeping) still take the full path.
+        lru = self._l2_sets[line % self._l2_nsets]
+        if line in lru:
+            if kind == LOAD:
+                self.events.loads += 1
+                del lru[line]
+                lru[line] = None
+                return self._l2_hit
+            if kind == STORE:
+                st = self.state[line]
+                if st != SHARED:
+                    self.events.stores += 1
+                    if st != MODIFIED:
+                        self.state[line] = MODIFIED
+                    self.l2_dirty.add(line)
+                    del lru[line]
+                    lru[line] = None
+                    return self._l2_hit
+            elif kind == PREFETCH:
+                self.events.prefetches += 1
+                del lru[line]
+                lru[line] = None
+                return 0
+            elif kind == PREFETCH_EXCL and self.state[line] == MODIFIED:
+                self.events.prefetches += 1
+                del lru[line]
+                lru[line] = None
+                return 0
+
         ev = self.events
         lat = self.lat
         st = self.state.get(line)

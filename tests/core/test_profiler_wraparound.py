@@ -1,0 +1,103 @@
+"""PMU counter wraparound and window-decay behaviour of SystemProfiler."""
+
+from repro.config import CobraConfig
+from repro.core.profiler import SystemProfiler
+from repro.hpm.counters import COUNTER_MASK, COUNTER_WIDTH
+from repro.hpm.sample import Sample
+
+
+def _sample(thread=0, counters=(0, 0, 0, 0), index=0):
+    return Sample(
+        index=index,
+        pc=0x100,
+        pid=0,
+        thread_id=thread,
+        cpu_id=thread,
+        counters=counters,
+        btb=(),
+        miss_pc=None,
+        miss_latency=None,
+        miss_addr=None,
+        cycles=0,
+    )
+
+
+def _ingest(profiler, snapshots, thread=0):
+    for i, counters in enumerate(snapshots):
+        profiler._ingest_sample(_sample(thread=thread, counters=counters, index=i))
+
+
+class TestCounterWraparound:
+    def test_width_is_positive_and_mask_matches(self):
+        assert COUNTER_WIDTH > 0
+        assert COUNTER_MASK == (1 << COUNTER_WIDTH) - 1
+
+    def test_wrapped_stream_matches_unwrapped(self):
+        """A stream whose counters cross the wrap point must yield the
+        same ratio as the same deltas without a wrap."""
+        near = COUNTER_MASK - 40
+        wrapped = SystemProfiler(CobraConfig())
+        _ingest(wrapped, [
+            (near, near, near, near),
+            ((near + 100) & COUNTER_MASK,
+             (near + 50) & COUNTER_MASK,
+             (near + 60) & COUNTER_MASK,
+             (near + 70) & COUNTER_MASK),
+        ])
+        plain = SystemProfiler(CobraConfig())
+        _ingest(plain, [(0, 0, 0, 0), (100, 50, 60, 70)])
+        assert wrapped._bus_delta == plain._bus_delta == 100
+        assert wrapped._coherent_delta == plain._coherent_delta == 180
+        assert wrapped.coherent_ratio() == plain.coherent_ratio()
+
+    def test_one_wrapped_counter_keeps_the_other_deltas(self):
+        """The old guard dropped the whole sample when any counter read
+        below its predecessor; a wrap in one counter must not discard
+        the other three deltas."""
+        near = COUNTER_MASK - 3
+        profiler = SystemProfiler(CobraConfig())
+        _ingest(profiler, [
+            (0, near, 0, 0),
+            (200, (near + 10) & COUNTER_MASK, 4, 6),
+        ])
+        assert profiler._bus_delta == 200
+        assert profiler._coherent_delta == 10 + 4 + 6
+        assert profiler.coherent_ratio() == 20 / 200
+
+    def test_per_thread_last_snapshots(self):
+        profiler = SystemProfiler(CobraConfig())
+        _ingest(profiler, [(0, 0, 0, 0), (10, 1, 0, 0)], thread=0)
+        _ingest(profiler, [(5, 0, 0, 0), (25, 0, 2, 0)], thread=1)
+        assert profiler._bus_delta == 10 + 20
+        assert profiler._coherent_delta == 1 + 2
+
+
+class TestWindowDecay:
+    def test_decay_preserves_ratio(self):
+        """Aging both totals by the same factor must not move the ratio
+        (the old int() truncation rounded them differently)."""
+        profiler = SystemProfiler(CobraConfig())
+        _ingest(profiler, [(0, 0, 0, 0), (7, 1, 1, 1)])
+        before = profiler.coherent_ratio()
+        assert before == 3 / 7
+        profiler.new_window()
+        assert abs(profiler.coherent_ratio() - before) < 1e-12
+        profiler.new_window(decay=0.3)
+        assert abs(profiler.coherent_ratio() - before) < 1e-12
+
+    def test_decay_ages_totals(self):
+        profiler = SystemProfiler(CobraConfig())
+        _ingest(profiler, [(0, 0, 0, 0), (100, 10, 0, 0)])
+        profiler.new_window()
+        assert profiler._bus_delta == 50
+        assert profiler._coherent_delta == 5
+
+    def test_old_residue_is_dominated_by_new_deltas(self):
+        """After many windows the phase-1 residue must be negligible, so
+        the ratio reflects current behaviour."""
+        profiler = SystemProfiler(CobraConfig())
+        _ingest(profiler, [(0, 0, 0, 0), (1000, 300, 0, 0)])  # ratio 0.3 phase
+        for _ in range(12):
+            profiler.new_window()
+        _ingest(profiler, [(1000, 300, 0, 0), (2000, 320, 0, 0)])  # ratio 0.02
+        assert abs(profiler.coherent_ratio() - 0.02) < 0.005

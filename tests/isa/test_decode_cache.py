@@ -1,0 +1,137 @@
+"""Decoded-bundle cache: journaled invalidation must track the image.
+
+The property test drives arbitrary patch / rollback sequences through a
+binary image and checks that the cache, synced at arbitrary points,
+always serves entries identical to a fresh decode of the current bytes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.binary import BinaryImage
+from repro.isa.bundle import Bundle
+from repro.isa.decode import DecodeCache, decode_bundle
+from repro.isa.instructions import Instruction, Op, nop
+
+BASE = 0x1000
+N_BUNDLES = 6
+
+
+def _bundle(*instrs):
+    slots = list(instrs)
+    while len(slots) < 3:
+        slots.append(nop("I"))
+    return Bundle(slots)
+
+
+def _image():
+    image = BinaryImage(BASE)
+    for i in range(N_BUNDLES):
+        image.append(
+            _bundle(
+                Instruction(Op.ADD, r1=1 + i, r2=2, r3=3),
+                Instruction(Op.MOVI, r1=4, imm=i),
+            )
+        )
+    return image
+
+
+def _assert_cache_fresh(cache, image):
+    assert cache.verify() == []
+    for addr, bundle in image.iter_bundles():
+        assert cache.map[addr] == decode_bundle(bundle)
+
+
+class TestDecodeCacheBasics:
+    def test_initial_sync_decodes_every_bundle(self):
+        image = _image()
+        cache = DecodeCache()
+        cache.attach(image)
+        cache.sync()
+        _assert_cache_fresh(cache, image)
+
+    def test_patch_invalidates_only_on_sync(self):
+        image = _image()
+        cache = DecodeCache()
+        cache.attach(image)
+        cache.sync()
+        stale = cache.map[BASE]
+        image.patch_slot(BASE, 0, nop("M"), reason="test")
+        assert cache.map[BASE] is stale  # nothing moves until sync
+        cache.sync()
+        _assert_cache_fresh(cache, image)
+        assert cache.map[BASE] != stale
+
+    def test_rollback_restores_original_entries(self):
+        image = _image()
+        cache = DecodeCache()
+        cache.attach(image)
+        cache.sync()
+        original = cache.map[BASE + 16]
+        image.patch_slot(BASE + 16, 1, nop("M"), reason="deploy")
+        cache.sync()
+        image.revert_patch(image.patches[-1])
+        cache.sync()
+        assert cache.map[BASE + 16] == original
+        _assert_cache_fresh(cache, image)
+
+    def test_append_after_sync_triggers_full_rebuild(self):
+        image = _image()
+        cache = DecodeCache()
+        cache.attach(image)
+        cache.sync()
+        # append bumps the version without a journal entry, so the
+        # journaled shortcut cannot apply
+        image.append(_bundle(Instruction(Op.ADD, r1=9, r2=9, r3=9)))
+        cache.sync()
+        _assert_cache_fresh(cache, image)
+
+
+# operation alphabet for the property test: patch one of a few valid
+# instructions into a random slot, roll back the newest live patch, or
+# sync the cache mid-sequence (exercising the journal replay window)
+_PATCH_INSTRS = (
+    nop("M"),
+    nop("I"),
+    Instruction(Op.ADD, r1=5, r2=6, r3=7),
+    Instruction(Op.MOVI, r1=8, imm=42),
+    Instruction(Op.SUB, r1=9, r2=10, r3=11),
+)
+
+_OP = st.one_of(
+    st.tuples(
+        st.just("patch"),
+        st.integers(0, N_BUNDLES - 1),
+        st.integers(0, 2),
+        st.integers(0, len(_PATCH_INSTRS) - 1),
+    ),
+    st.tuples(st.just("rollback")),
+    st.tuples(st.just("sync")),
+)
+
+
+class TestDecodeCacheProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_OP, max_size=40))
+    def test_arbitrary_patch_rollback_sequences(self, ops):
+        image = _image()
+        cache = DecodeCache()
+        cache.attach(image)
+        cache.sync()
+        live = []  # patches applied and not yet reverted, LIFO
+        for op in ops:
+            if op[0] == "patch":
+                _, bundle_idx, slot, instr_idx = op
+                addr = BASE + 16 * bundle_idx
+                image.patch_slot(
+                    addr, slot, _PATCH_INSTRS[instr_idx], reason="prop"
+                )
+                live.append(image.patches[-1])
+            elif op[0] == "rollback":
+                if live:
+                    image.revert_patch(live.pop())
+            else:
+                cache.sync()
+                _assert_cache_fresh(cache, image)
+        cache.sync()
+        _assert_cache_fresh(cache, image)

@@ -53,3 +53,47 @@ class TestCli:
 
     def test_validate_unknown_workload(self, capsys):
         assert main(["validate", "--workloads", "nope"]) == 2
+
+
+class TestStrategyValidation:
+    """Unknown strategy names are rejected at the CLI boundary with a
+    one-line error and exit code 2 — never a raw traceback."""
+
+    def test_daxpy_unknown_strategy(self, capsys):
+        rc = main(["daxpy", "--strategy", "frobnicate"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "unknown strategy 'frobnicate'" in err
+        for name in ("baseline", "noprefetch", "excl", "adaptive"):
+            assert name in err
+
+    def test_npb_unknown_strategy(self, capsys):
+        rc = main(["npb", "cg", "--strategy", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown strategy 'nope'" in err
+
+    def test_validate_unknown_strategy(self, capsys):
+        rc = main(["validate", "--workloads", "daxpy", "--strategies", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown strategy 'bogus'" in err
+        assert "none" in err
+
+    def test_validate_strategy_subset(self, capsys):
+        # "none" is added automatically for the differential baseline
+        rc = main([
+            "validate", "--workloads", "daxpy", "--reps", "1",
+            "--strategies", "excl",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0 and "validate: OK" in out
+
+    def test_bench_unknown_strategy(self, capsys):
+        rc = main(["bench", "--strategies", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown strategy 'bogus'" in err
+
+    def test_bench_unknown_benchmark(self, capsys):
+        rc = main(["bench", "--benchmarks", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown benchmark 'nope'" in err
