@@ -7,6 +7,7 @@ Examples::
     python -m repro table1
     python -m repro disasm daxpy
     python -m repro validate --workloads daxpy cg mg
+    python -m repro chaos --workloads daxpy cg --seed 7 --runs 3
 """
 
 from __future__ import annotations
@@ -18,8 +19,9 @@ import json
 
 from .analysis import format_table1
 from .bench import BENCH_STRATEGIES, FULL_BENCHMARKS, format_report, run_bench
-from .config import itanium2_smp, sgi_altix
+from .config import FaultConfig, itanium2_smp, sgi_altix
 from .core import STRATEGIES, run_with_cobra
+from .faults import CHAOS_STRATEGIES, ChaosHarness
 from .cpu import Machine
 from .isa import Op, disassemble
 from .validate import (
@@ -185,6 +187,45 @@ def _cmd_validate(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_chaos(args) -> int:
+    strategies = CHAOS_STRATEGIES
+    if args.strategies:
+        for name in args.strategies:
+            if name not in STRATEGIES:
+                return _bad_strategy(name, STRATEGIES)
+        strategies = tuple(args.strategies)
+    try:
+        fault_config = FaultConfig(
+            sample_rate=args.sample_rate,
+            patch_rate=args.patch_rate,
+            loop_rate=args.loop_rate,
+        )
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    seeds = tuple(range(args.seed, args.seed + args.runs))
+    machines = default_machines(args.threads, scale=args.scale)
+    failures = 0
+    for name in args.workloads:
+        if name == "daxpy":
+            spec = daxpy_spec(n_threads=args.threads, reps=args.reps)
+        elif name in BENCHMARKS:
+            spec = npb_spec(name, n_threads=args.threads, reps=args.reps)
+        else:
+            print(f"unknown workload {name!r}", file=sys.stderr)
+            return 2
+        harness = ChaosHarness(
+            spec, machines, strategies=strategies, seeds=seeds,
+            fault_config=fault_config,
+        )
+        report = harness.run()
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+    print("chaos:", "OK" if failures == 0 else f"{failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
 def _cmd_bench(args) -> int:
     for name in args.strategies or ():
         if name not in BENCH_STRATEGIES:
@@ -272,6 +313,43 @@ def _parser() -> argparse.ArgumentParser:
         "(default: none + all policies; 'none' is added if omitted)",
     )
     validate.set_defaults(func=_cmd_validate)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection sweeps: under any fault schedule, "
+        "program outputs must stay bit-identical to the fault-free run "
+        "and every injected fault must be accounted in the ledger",
+    )
+    chaos.add_argument(
+        "--workloads", nargs="+", default=["daxpy", "cg"],
+        help="'daxpy' and/or NPB benchmark names",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="first PRNG seed")
+    chaos.add_argument(
+        "--runs", type=int, default=2,
+        help="fault schedules per (machine, strategy) cell: seeds seed..seed+runs-1",
+    )
+    chaos.add_argument("--threads", type=int, default=4)
+    chaos.add_argument(
+        "--reps", type=int, default=4, help="outer repetitions per run"
+    )
+    chaos.add_argument(
+        "--strategies", nargs="+", default=None, metavar="STRATEGY",
+        help=f"COBRA strategies to fault (default: {' '.join(CHAOS_STRATEGIES)})",
+    )
+    chaos.add_argument(
+        "--sample-rate", type=float, default=0.1,
+        help="per-sample fault probability at the HPM surface",
+    )
+    chaos.add_argument(
+        "--patch-rate", type=float, default=0.5,
+        help="per-deployment fault probability at the trace-cache surface",
+    )
+    chaos.add_argument(
+        "--loop-rate", type=float, default=0.2,
+        help="per-wake fault probability at the monitor/optimizer surface",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
         "bench",

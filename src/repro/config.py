@@ -29,6 +29,7 @@ __all__ = [
     "CacheConfig",
     "BusConfig",
     "LatencyConfig",
+    "FaultConfig",
     "CobraConfig",
     "MachineConfig",
     "itanium2_smp",
@@ -121,6 +122,32 @@ class LatencyConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection plan (:mod:`repro.faults`).
+
+    Attached to :attr:`CobraConfig.faults` (default ``None`` = injection
+    fully disabled, zero overhead).  All draws come from one seeded PRNG,
+    so a (workload, strategy, machine, seed) tuple replays the exact same
+    fault schedule.  Rates are per *opportunity*: ``sample_rate`` per
+    delivered HPM sample, ``patch_rate`` per trace deployment attempt,
+    ``loop_rate`` per optimizer wake point.  ``kinds`` restricts the
+    schedule to a subset of fault kinds (``None`` = all).
+    """
+
+    seed: int = 0
+    sample_rate: float = 0.02
+    patch_rate: float = 0.2
+    loop_rate: float = 0.05
+    kinds: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("sample_rate", "patch_rate", "loop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
 class CobraConfig:
     """COBRA runtime parameters (sampling, filtering, policy)."""
 
@@ -155,6 +182,16 @@ class CobraConfig:
     #: variable overrides this at :class:`~repro.core.framework.Cobra`
     #: construction (so CI can run any example under strict checking).
     validate: str = "off"
+    #: Seeded fault-injection plan (:mod:`repro.faults`); ``None``
+    #: disables injection entirely.  The ``REPRO_FAULTS`` environment
+    #: variable (an integer seed) overrides this at ``Cobra``
+    #: construction with a default-rate plan.
+    faults: FaultConfig | None = None
+    #: Optimizer watchdog: after this many fault strikes (failed
+    #: deployments, monitor deaths, quarantine surges, recorded
+    #: invariant violations) the optimizer reverts every active
+    #: deployment and drops to monitor-only degraded mode.
+    fault_escalation_threshold: int = 8
 
 
 @dataclass(frozen=True)

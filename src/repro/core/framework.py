@@ -12,6 +12,13 @@ Typical use::
     prog = build_daxpy(machine, ...)          # any ParallelProgram
     result, report = run_with_cobra(prog, strategy="adaptive")
     print(report.summary())
+
+Two hardening subsystems attach here: the coherence checker
+(:mod:`repro.validate`, via ``CobraConfig.validate``/``REPRO_VALIDATE``)
+and the fault injector (:mod:`repro.faults`, via ``CobraConfig.faults``
+/``REPRO_FAULTS``).  When faults are enabled the report carries a
+structured fault/recovery ledger in which every injected fault must be
+accounted as detected or tolerated.
 """
 
 from __future__ import annotations
@@ -19,10 +26,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..config import CobraConfig
+from ..config import CobraConfig, FaultConfig
 from ..cpu.machine import Machine
 from ..cpu.scheduler import Scheduler
 from ..errors import CobraError, InvariantViolation
+from ..faults.injector import FaultInjector, FaultLedger
 from ..isa.binary import BinaryImage
 from ..runtime.team import ParallelProgram, RunResult
 from ..validate.checker import VALIDATE_MODES, CoherenceChecker
@@ -46,6 +54,14 @@ class CobraReport:
     #: ``CobraConfig.validate`` enabled the coherence checker
     validate_checks: int = 0
     violations: list[InvariantViolation] = field(default_factory=list)
+    #: operating mode at run end ("normal" or "monitor-only")
+    mode: str = "normal"
+    #: sanitizer quarantine counters (reason -> rejected sample count)
+    quarantined: dict[str, int] = field(default_factory=dict)
+    #: transactional recoveries and idempotent no-ops, in order
+    recovery_log: list[str] = field(default_factory=list)
+    #: fault/recovery ledger when ``CobraConfig.faults`` armed injection
+    faults: FaultLedger | None = None
 
     def summary(self) -> str:
         lines = [
@@ -65,7 +81,34 @@ class CobraReport:
                 f"  validated {self.validate_checks} accesses, "
                 f"{len(self.violations)} invariant violation(s)"
             )
+        if self.mode != "normal":
+            lines.append(f"  degraded mode: {self.mode}")
+        if self.quarantined:
+            total = sum(self.quarantined.values())
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.quarantined.items())
+            )
+            lines.append(f"  quarantined {total} sample(s): {reasons}")
+        if self.recovery_log:
+            lines.append(f"  {len(self.recovery_log)} transactional recovery event(s)")
+        if self.faults is not None:
+            lines.append(f"  {self.faults.summary()}")
         return "\n".join(lines)
+
+
+def _fault_injector(config: CobraConfig) -> FaultInjector | None:
+    """Build the injector from config, with the env-var override."""
+    fault_config = config.faults
+    env = os.environ.get("REPRO_FAULTS", "").strip()
+    if env:
+        try:
+            fault_config = FaultConfig(seed=int(env))
+        except ValueError:
+            raise CobraError(
+                f"REPRO_FAULTS must be an integer seed, got {env!r}"
+            ) from None
+    return FaultInjector(fault_config) if fault_config is not None else None
 
 
 class Cobra:
@@ -84,13 +127,16 @@ class Cobra:
         self.program = program
         self.config = config or machine.config.cobra
         self.strategy = strategy
-        self.trace_cache = TraceCache(self.config.trace_cache_bundles)
+        self.faults = _fault_injector(self.config)
+        self.trace_cache = TraceCache(self.config.trace_cache_bundles, faults=self.faults)
         machine.load_image(self.trace_cache.image)
         self.monitors = [
-            MonitoringThread(core, self.config) for core in machine.cores
+            MonitoringThread(core, self.config, faults=self.faults)
+            for core in machine.cores
         ]
         self.optimizer = OptimizationThread(
-            machine, program, self.monitors, self.trace_cache, self.config, strategy
+            machine, program, self.monitors, self.trace_cache, self.config,
+            strategy, faults=self.faults,
         )
         # invariant checking (repro.validate): the config knob, overridable
         # per-process so CI can run any example/benchmark under strict mode
@@ -100,6 +146,11 @@ class Cobra:
                 f"unknown validate mode {mode!r} (use one of {VALIDATE_MODES})"
             )
         self.checker = CoherenceChecker(machine, mode) if mode != "off" else None
+        if self.checker is not None:
+            # recorded violations feed the optimizer watchdog's
+            # escalation (strict mode raises before it matters)
+            checker = self.checker
+            self.optimizer.watch_violations(lambda: len(checker.violations))
         self._installed = False
 
     def install(self, scheduler: Scheduler) -> None:
@@ -116,10 +167,16 @@ class Cobra:
     def stop(self) -> None:
         for monitor in self.monitors:
             monitor.stop()
+        if self.faults is not None:
+            # final drain through the sanitizer so every delivered
+            # sample — including stragglers flushed by stop() — is
+            # accounted before the ledger is read
+            self.optimizer.profiler.ingest(self.monitors)
         if self.checker is not None:
             self.checker.detach()
 
     def report(self) -> CobraReport:
+        profiler = self.optimizer.profiler
         return CobraReport(
             strategy=self.strategy,
             samples=sum(m.samples_taken for m in self.monitors),
@@ -127,6 +184,10 @@ class Cobra:
             events=list(self.optimizer.events),
             validate_checks=self.checker.checks if self.checker else 0,
             violations=list(self.checker.violations) if self.checker else [],
+            mode=self.optimizer.mode,
+            quarantined=dict(profiler.quarantined),
+            recovery_log=list(self.trace_cache.recovery_log),
+            faults=self.faults.ledger() if self.faults is not None else None,
         )
 
 

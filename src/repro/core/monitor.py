@@ -10,15 +10,27 @@ The four programmed counters are the coherent-traffic set from §4:
 ``BUS_MEMORY`` (all bus transactions) plus the three snoop-response
 events whose sum over ``BUS_MEMORY`` estimates the coherent-access
 ratio.
+
+The KSB→USB copy is the first surface the fault injector
+(:mod:`repro.faults`) attacks: samples can be dropped, duplicated,
+corrupted, delayed behind later samples, or lost to a USB overflow —
+and the thread itself can die mid-run (the optimizer's watchdog
+restarts it).  None of that may ever reach program correctness; at
+worst the profile gets thinner.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..config import CobraConfig
 from ..cpu.core import Core
 from ..hpm.events import PmuEvent
 from ..hpm.perfmon import PerfmonSession
 from ..hpm.sample import Sample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultEvent, FaultInjector
 
 __all__ = ["MonitoringThread", "MONITOR_EVENTS"]
 
@@ -37,12 +49,24 @@ USB_CAPACITY = 4096
 class MonitoringThread:
     """Monitors one working thread via its perfmon session."""
 
-    def __init__(self, core: Core, config: CobraConfig, pid: int = 0) -> None:
+    def __init__(
+        self,
+        core: Core,
+        config: CobraConfig,
+        pid: int = 0,
+        faults: "FaultInjector | None" = None,
+    ) -> None:
         self.core = core
         self.config = config
+        self.faults = faults
         self.session = PerfmonSession(core, pid)
         self.usb: list[Sample] = []
         self.samples_taken = 0
+        #: set when the thread died mid-run (fault injection); the
+        #: optimizer's watchdog restarts dead monitors on its next wake
+        self.dead = False
+        # [countdown, sample] pairs held back by a late_sample fault
+        self._delayed: list[list] = []
         self._running = False
 
     def start(self) -> None:
@@ -62,6 +86,27 @@ class MonitoringThread:
         if self._running:
             self.session.stop()
             self._running = False
+        self._flush_delayed()
+
+    def kill(self) -> None:
+        """The monitoring thread dies mid-run (fault injection).
+
+        Its buffered samples go with it; the perfmon session is torn
+        down as the kernel would on thread exit.
+        """
+        if self._running:
+            self.session.stop()
+            self._running = False
+        if self.faults is not None and (self.usb or self._delayed):
+            self.faults.samples_lost(self.usb + [entry[1] for entry in self._delayed])
+        self.usb.clear()
+        self._delayed.clear()
+        self.dead = True
+
+    def restart(self) -> None:
+        """Watchdog recovery: re-attach a dead monitoring thread."""
+        self.dead = False
+        self.start()
 
     @property
     def running(self) -> bool:
@@ -69,10 +114,64 @@ class MonitoringThread:
 
     def _on_signal(self, sample: Sample) -> None:
         """perfmon signal handler: kernel buffer -> USB."""
+        faults = self.faults
+        if faults is not None:
+            event = faults.sample_fault()
+            if event is not None:
+                sample = self._apply_fault(event, sample)
+                if sample is None:
+                    return
+        self._deliver(sample)
+
+    def _apply_fault(self, event: "FaultEvent", sample: Sample) -> Sample | None:
+        kind = event.kind
+        if kind == "drop_sample":
+            return None
+        if kind == "dup_sample":
+            self._deliver(sample)         # the copy lands twice
+            return sample
+        if kind == "corrupt_sample":
+            return self.faults.corrupt_sample(event, sample)
+        if kind == "late_sample":
+            self._delayed.append([self.faults.delay_count(), sample])
+            return None
+        if kind == "usb_overflow":
+            # kernel buffer overran before the copy: the USB's oldest
+            # three quarters are lost wholesale
+            keep = len(self.usb) // 4
+            lost = len(self.usb) - keep
+            if lost:
+                self.faults.samples_lost(self.usb[:lost])
+                del self.usb[:lost]
+            return sample
+        return sample
+
+    def _deliver(self, sample: Sample) -> None:
         self.usb.append(sample)
         self.samples_taken += 1
         if len(self.usb) > USB_CAPACITY:
-            del self.usb[: len(self.usb) - USB_CAPACITY]
+            lost = len(self.usb) - USB_CAPACITY
+            if self.faults is not None:
+                self.faults.samples_lost(self.usb[:lost])
+            del self.usb[:lost]
+        if self._delayed:
+            due = []
+            for entry in self._delayed:
+                entry[0] -= 1
+                if entry[0] <= 0:
+                    due.append(entry)
+            for entry in due:
+                self._delayed.remove(entry)
+                # straggler lands out of order; the profiler's ordering
+                # check quarantines it if the stream moved past it
+                self.usb.append(entry[1])
+                self.samples_taken += 1
+
+    def _flush_delayed(self) -> None:
+        for entry in self._delayed:
+            self.usb.append(entry[1])
+            self.samples_taken += 1
+        self._delayed.clear()
 
     def drain(self) -> list[Sample]:
         """Hand all buffered samples to the profiler."""

@@ -14,11 +14,27 @@ trace.  One deployment per wake-up keeps before/after attribution clean
 for the rollback check (re-adaptation): if the windowed system CPI
 degrades after a deployment, the deployment is reverted and the loop
 blacklisted.
+
+While a deployment is under evaluation the optimizer *defers judgement*
+but does not go blind: every wake still ingests samples, maintains the
+CPI history, and runs the phase-change rollback scan (an earlier
+version early-returned here, starving both for the whole evaluation
+period).  Empty windows — no retired instructions, ``cpi() == 0.0`` —
+carry no signal and are never recorded into the history or allowed to
+"pass" a regression check.
+
+The optimizer is also the runtime's **watchdog**: it restarts
+monitoring threads that died mid-run, and escalates repeated faults or
+recorded invariant violations into a ``monitor-only`` degraded mode —
+every active deployment is reverted to the unmodified (always-correct)
+original code and no new traces are deployed, while profiling and
+reporting continue.  Degrading costs performance, never correctness.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from ..config import CobraConfig
 from ..cpu.machine import Machine
@@ -32,7 +48,19 @@ from .profiler import SystemProfiler
 from .tracecache import Deployment, TraceCache
 from .tracesel import select_loop_traces
 
-__all__ = ["OptimizationThread", "OptEvent"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+
+__all__ = ["OptimizationThread", "OptEvent", "MODES"]
+
+#: Operating modes: ``monitor-only`` is the degraded state — profile,
+#: report, but never patch.
+MODES = ("normal", "monitor-only")
+
+#: A single wake with at least this many freshly quarantined samples is
+#: a fault strike (a trickle is business as usual under injection; a
+#: surge means the sampling path itself is sick).
+_QUARANTINE_SURGE = 4
 
 
 @dataclass(frozen=True)
@@ -40,7 +68,7 @@ class OptEvent:
     """One logged optimizer action."""
 
     retired: int
-    kind: str          # "deploy" | "rollback" | "skip"
+    kind: str          # "deploy" | "rollback" | "skip" | "recover" | "degrade"
     loop_head: int | None
     optimization: str | None
     reason: str
@@ -68,6 +96,7 @@ class OptimizationThread:
         trace_cache: TraceCache,
         config: CobraConfig,
         strategy: str = "adaptive",
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.machine = machine
         self.program = program
@@ -75,9 +104,15 @@ class OptimizationThread:
         self.trace_cache = trace_cache
         self.config = config
         self.strategy = strategy
-        self.profiler = SystemProfiler(config)
+        self.faults = faults
+        self.profiler = SystemProfiler(config, faults)
         self.events: list[OptEvent] = []
         self.blacklist: set[int] = set()
+        self.mode = "normal"
+        self.fault_strikes = 0
+        self._quarantine_seen = 0
+        self._violations_seen = 0
+        self._violation_source: Callable[[], int] | None = None
         self._last_wake = 0
         # (deployment, CPI before, wakes left before judging)
         self._pending_eval: tuple[Deployment, float, int] | None = None
@@ -85,6 +120,10 @@ class OptimizationThread:
         # recent per-window CPIs; deployment needs a warm, phase-averaged
         # baseline (the first windows are cold-miss-inflated)
         self._cpi_history: list[float] = []
+
+    def watch_violations(self, source: Callable[[], int]) -> None:
+        """Register a recorded-violation counter for the watchdog."""
+        self._violation_source = source
 
     # -- scheduler hook ---------------------------------------------------------
 
@@ -94,41 +133,133 @@ class OptimizationThread:
         if retired - self._last_wake < self.config.optimize_interval:
             return
         self._last_wake = retired
+        if self.faults is not None:
+            event = self.faults.loop_fault()
+            if event is not None:
+                if event.kind == "missed_wakeup":
+                    # the wake signal is lost; adaptation waits a period
+                    return
+                if event.kind == "monitor_death":
+                    victim = self.monitors[self.faults.choice(len(self.monitors))]
+                    if victim.running:
+                        victim.kill()
+                    else:
+                        self.faults.tolerated(event, "victim already down")
         self.wake()
+
+    # -- watchdog ---------------------------------------------------------------
+
+    def _strike(self, retired: int, reason: str) -> None:
+        """Count a fault strike; escalate to monitor-only past the cap."""
+        self.fault_strikes += 1
+        if (
+            self.mode == "normal"
+            and self.fault_strikes >= self.config.fault_escalation_threshold
+        ):
+            self.mode = "monitor-only"
+            for deployment in self.trace_cache.deployments:
+                if deployment.active:
+                    self.trace_cache.rollback(self.program, deployment)
+            self._pending_eval = None
+            self.events.append(
+                OptEvent(
+                    retired,
+                    "degrade",
+                    None,
+                    None,
+                    f"monitor-only after {self.fault_strikes} fault strike(s): {reason}",
+                )
+            )
+
+    def _watchdog(self, retired: int) -> None:
+        for monitor in self.monitors:
+            if monitor.dead:
+                monitor.restart()
+                if self.faults is not None:
+                    self.faults.claim(
+                        "loop", f"monitor {monitor.core.cpu_id} restarted by watchdog"
+                    )
+                    self._strike(
+                        retired, f"monitor {monitor.core.cpu_id} died"
+                    )
+                self.events.append(
+                    OptEvent(
+                        retired,
+                        "recover",
+                        None,
+                        None,
+                        f"monitor {monitor.core.cpu_id} restarted by watchdog",
+                    )
+                )
+        if self.faults is not None:
+            quarantined = self.profiler.quarantined_total
+            surge = quarantined - self._quarantine_seen
+            self._quarantine_seen = quarantined
+            if surge >= _QUARANTINE_SURGE:
+                self._strike(retired, f"{surge} samples quarantined in one window")
+            if self._violation_source is not None:
+                violations = self._violation_source()
+                if violations > self._violations_seen:
+                    self._strike(
+                        retired,
+                        f"{violations - self._violations_seen} invariant "
+                        "violation(s) recorded",
+                    )
+                    self._violations_seen = violations
 
     # -- one optimizer wake-up -----------------------------------------------------
 
     def wake(self) -> None:
-        self.profiler.ingest(self.monitors)
         retired = self.machine.total_retired()
+        self._watchdog(retired)
+        self.profiler.ingest(self.monitors)
 
         # evaluate the previous deployment's effect (re-adaptation):
         # the after-CPI is phase-averaged over several windows, because
         # one window may cover different program regions than another
+        deferring = False
         if self._pending_eval is not None and self.config.enable_rollback:
             deployment, before_cpi, wakes_left = self._pending_eval
-            if wakes_left > 0:
+            if not deployment.active:
+                # reverted underneath the evaluation (phase change or
+                # degraded-mode sweep): nothing left to judge
+                self._pending_eval = None
+            elif wakes_left > 0:
                 self._pending_eval = (deployment, before_cpi, wakes_left - 1)
-                return
-            after_cpi = self._window.cpi(self.machine)
-            self._pending_eval = None
-            if before_cpi > 0 and after_cpi > before_cpi * 1.03:
-                self.trace_cache.rollback(self.program, deployment)
-                self.blacklist.add(deployment.loop.head)
-                self.events.append(
-                    OptEvent(
-                        retired,
-                        "rollback",
-                        deployment.loop.head,
-                        deployment.optimization,
-                        f"CPI {before_cpi:.2f} -> {after_cpi:.2f} after deployment",
-                    )
-                )
+                deferring = True
             else:
-                self._cpi_history.append(after_cpi)
+                after_cpi = self._window.cpi(self.machine)
+                self._pending_eval = None
+                if after_cpi == 0.0:
+                    # empty window: no retired instructions, no signal —
+                    # neither a pass nor a regression
+                    self.events.append(
+                        OptEvent(
+                            retired,
+                            "skip",
+                            deployment.loop.head,
+                            deployment.optimization,
+                            "empty evaluation window: no signal",
+                        )
+                    )
+                elif before_cpi > 0 and after_cpi > before_cpi * 1.03:
+                    self.trace_cache.rollback(self.program, deployment)
+                    self.blacklist.add(deployment.loop.head)
+                    self.events.append(
+                        OptEvent(
+                            retired,
+                            "rollback",
+                            deployment.loop.head,
+                            deployment.optimization,
+                            f"CPI {before_cpi:.2f} -> {after_cpi:.2f} after deployment",
+                        )
+                    )
+                else:
+                    self._cpi_history.append(after_cpi)
 
         window_cpi = self._window.cpi(self.machine)
-        self._cpi_history.append(window_cpi)
+        if window_cpi > 0.0:
+            self._cpi_history.append(window_cpi)
         del self._cpi_history[:-4]
 
         ratio = self.profiler.coherent_ratio()
@@ -137,7 +268,10 @@ class OptimizationThread:
         # coherent traffic dominates; when the program enters a phase
         # where it no longer does (e.g. the working set outgrew the
         # caches), revert — without blacklisting, so the optimization
-        # can come back if the earlier behaviour returns.
+        # can come back if the earlier behaviour returns.  This scan
+        # also runs while an evaluation is deferring (rollback is
+        # idempotent, so the eval path finding its deployment already
+        # inactive is safe).
         if ratio < self.config.coherent_ratio_threshold:
             for deployment in list(self.trace_cache.deployments):
                 if not deployment.active:
@@ -153,8 +287,21 @@ class OptimizationThread:
                     )
                 )
 
+        if deferring:
+            # keep the evaluation window open (no reset, no decay) so
+            # the after-CPI stays phase-averaged; no new deployment
+            # while one is under evaluation (attribution)
+            return
+
+        if self.mode == "normal":
+            self._deploy_one(retired, ratio)
+
+        self._window = _Window(self.machine.total_cycles(), self.machine.total_retired())
+        self.profiler.new_window()
+
+    def _deploy_one(self, retired: int, ratio: float) -> None:
+        """Select one hot loop and deploy a rewritten trace for it."""
         traces = select_loop_traces(self.profiler, self.program)
-        deployed = False
         warm = len(self._cpi_history) >= 3
         for trace in traces:
             if trace.head in self.blacklist or self.trace_cache.is_deployed(trace.head):
@@ -193,6 +340,8 @@ class OptimizationThread:
                 self.events.append(
                     OptEvent(retired, "skip", trace.head, decision.optimization, str(exc))
                 )
+                if self.faults is not None:
+                    self._strike(retired, f"deployment failed: {exc}")
                 continue
             self.events.append(
                 OptEvent(
@@ -200,12 +349,7 @@ class OptimizationThread:
                 )
             )
             self._pending_eval = (deployment, before_cpi, 2)
-            deployed = True
             break  # one deployment per wake-up
-
-        del deployed
-        self._window = _Window(self.machine.total_cycles(), self.machine.total_retired())
-        self.profiler.new_window()
 
     # -- reporting ----------------------------------------------------------------
 

@@ -14,9 +14,18 @@ into
 Decisions are taken on profiles "collected from multiple threads to
 determine if a system-wide optimization is warranted" (§1) — a single
 thread's noisy view never triggers a rewrite by itself.
+
+Samples are *untrusted input*: a real perfmon path can deliver torn,
+overwritten, or reordered records (USB overflow, signal races), and the
+fault injector (:mod:`repro.faults`) provokes exactly that.  Every
+sample is sanitized before it touches a profile; garbage is quarantined
+(counted per reason, never folded in), so one corrupted record can
+perturb at most the sampling density, never the decision inputs.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..config import CobraConfig
 from ..hpm.counters import COUNTER_MASK
@@ -24,19 +33,28 @@ from ..hpm.sample import Sample
 from .filters import MissProfile
 from .monitor import MonitoringThread
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+
 __all__ = ["SystemProfiler"]
 
 
 class SystemProfiler:
     """Aggregates profiles across all monitoring threads."""
 
-    def __init__(self, config: CobraConfig) -> None:
+    def __init__(self, config: CobraConfig, faults: "FaultInjector | None" = None) -> None:
         self.config = config
+        self.faults = faults
         self.misses = MissProfile(config)
         self.btb_pairs: dict[tuple[int, int], int] = {}
         self.samples_seen = 0
+        #: quarantine counters: sanitizer reason -> rejected sample count
+        self.quarantined: dict[str, int] = {}
+        self.quarantined_total = 0
         # last counter snapshot per thread: (bus_memory, hit, hitm, inval)
         self._last_counters: dict[int, tuple[int, int, int, int]] = {}
+        # last accepted (index, cycles) per thread, for ordering checks
+        self._last_meta: dict[int, tuple[int, int]] = {}
         self._bus_delta = 0
         self._coherent_delta = 0
 
@@ -51,7 +69,34 @@ class SystemProfiler:
                 n += 1
         return n
 
+    def _sanitize(self, sample: Sample) -> str | None:
+        """Reason to quarantine ``sample``, or ``None`` to accept it."""
+        reason = sample.anomaly(COUNTER_MASK)
+        if reason is not None:
+            return reason
+        meta = self._last_meta.get(sample.thread_id)
+        if meta is not None:
+            last_index, last_cycles = meta
+            if sample.index <= last_index:
+                # a duplicate or a straggler delivered out of order; the
+                # counter-delta and BTB state already moved past it
+                return "stale-index"
+            if sample.cycles < last_cycles:
+                return "time-travel"
+        return None
+
+    def _quarantine(self, sample: Sample, reason: str) -> None:
+        self.quarantined[reason] = self.quarantined.get(reason, 0) + 1
+        self.quarantined_total += 1
+        if self.faults is not None:
+            self.faults.claim_sample(sample, f"quarantined ({reason})")
+
     def _ingest_sample(self, sample: Sample) -> None:
+        reason = self._sanitize(sample)
+        if reason is not None:
+            self._quarantine(sample, reason)
+            return
+        self._last_meta[sample.thread_id] = (sample.index, sample.cycles)
         self.samples_seen += 1
         self.misses.add_sample(sample)
         for pair in sample.btb:

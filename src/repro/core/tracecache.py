@@ -19,20 +19,35 @@ Deployment protocol (safe under concurrent execution):
    LC/EC, predicates) is position-compatible because the trace is a
    structural copy.
 
+Deployment is **transactional**: the image version is snapshotted
+before the trace is built and re-checked before redirection (a trace
+built against a stale image must never go live), and the redirect is
+verified after the write against both the intended bundle and the
+patch journal.  Any failure reverts the head bundle from the journal,
+reclaims the appended trace bundles, and surfaces a
+:class:`~repro.errors.TraceCacheError` — the program keeps running the
+unmodified original, which is always correct.
+
 Rollback restores the original head bundle from the patch journal
-(re-adaptation, §1 "Continuous Binary Re-Adaptation").
+(re-adaptation, §1 "Continuous Binary Re-Adaptation") and is
+**idempotent**: rolling back an already-inactive deployment is a
+recorded no-op, so the pending-evaluation and phase-change paths can
+never race each other into an error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import TraceCacheError
 from ..isa.binary import BinaryImage, Patch
 from ..isa.bundle import BUNDLE_BYTES, Bundle
 from ..isa.instructions import Instruction, Op, nop
 from .tracesel import LoopTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
 
 __all__ = ["TraceCache", "Deployment"]
 
@@ -55,10 +70,18 @@ class Deployment:
 class TraceCache:
     """Holds optimized traces; performs deployment and rollback."""
 
-    def __init__(self, capacity_bundles: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity_bundles: int = 4096,
+        faults: "FaultInjector | None" = None,
+    ) -> None:
         self.image = BinaryImage(TRACE_BASE)
         self.capacity = capacity_bundles
+        self.faults = faults
         self.deployments: list[Deployment] = []
+        #: recorded transactional recoveries and idempotent no-ops, in
+        #: order; surfaced on the COBRA report
+        self.recovery_log: list[str] = []
 
     @property
     def used_bundles(self) -> int:
@@ -85,10 +108,25 @@ class TraceCache:
 
         ``rewrite`` maps each instruction to a replacement (or ``None``
         to keep it).  The rewrite count is recorded for reporting.
+        All-or-nothing: on any verification failure the program image
+        and the trace cache are byte-identical to their pre-call state.
         """
         if self.overlaps_active(loop.head, loop.end_bundle):
             raise TraceCacheError(
                 f"loop [{loop.head:#x}, {loop.end_bundle:#x}] overlaps an active trace"
+            )
+        fault = self.faults.patch_fault() if self.faults is not None else None
+        if fault is not None and fault.kind == "cache_exhaustion":
+            # transient exhaustion: this attempt sees a full cache
+            self.faults.detected(
+                fault, f"deploy of loop {loop.head:#x} refused: cache exhausted"
+            )
+            self.recovery_log.append(
+                f"exhaustion: deploy of loop {loop.head:#x} refused"
+            )
+            raise TraceCacheError(
+                f"trace cache full ({self.used_bundles}/{self.capacity} bundles; "
+                "injected exhaustion)"
             )
         n_bundles = loop.n_bundles + 1  # + exit branch bundle
         if self.used_bundles + n_bundles > self.capacity:
@@ -96,6 +134,7 @@ class TraceCache:
                 f"trace cache full ({self.used_bundles}/{self.capacity} bundles)"
             )
 
+        snapshot_version = program.version
         entry = self.image.here()
         offset = entry - loop.head
         lo, hi = loop.head, loop.end_bundle
@@ -123,20 +162,86 @@ class TraceCache:
             Bundle([nop("M"), nop("I"), Instruction(Op.BR, imm=exit_target, unit="B")])
         )
 
+        if fault is not None and fault.kind == "stale_image":
+            # the program image moved on while the trace was being
+            # built; the snapshot the trace encodes is one version old
+            snapshot_version -= 1
+        if program.version != snapshot_version:
+            # redirecting now would publish a trace copied from a stale
+            # image: abort, reclaim the trace, keep the original live
+            self.image.truncate(entry)
+            if fault is not None:
+                self.faults.detected(
+                    fault, f"stale trace for loop {loop.head:#x} discarded"
+                )
+            self.recovery_log.append(
+                f"stale: trace for loop {loop.head:#x} discarded before redirect"
+            )
+            raise TraceCacheError(
+                f"image version changed during deployment of loop {loop.head:#x} "
+                "(stale trace discarded)"
+            )
+
         # atomic redirection: one bundle replaced by a branch to the trace
         redirect = Bundle(
             [nop("M"), nop("I"), Instruction(Op.BR, imm=entry, unit="B")]
         )
-        program.patch_bundle(loop.head, redirect, reason=f"cobra:{optimization}")
+        written = redirect
+        if fault is not None and fault.kind == "torn_patch":
+            written = self._tear(program.fetch_bundle(loop.head), redirect, entry)
+            if written is redirect:
+                # the torn prefix happened to equal the full bundle
+                self.faults.tolerated(fault, "torn write landed byte-identical")
+        program.patch_bundle(loop.head, written, reason=f"cobra:{optimization}")
         head_patch = program.patches[-1]
+
+        # verify-after-write against the journal: what the image now
+        # holds must be both what we intended and what was journaled
+        observed = program.fetch_bundle(loop.head)
+        if observed != redirect or head_patch.new != observed:
+            program.revert_patch(head_patch)
+            self.image.truncate(entry)
+            if fault is not None and fault.kind == "torn_patch":
+                self.faults.detected(
+                    fault, f"torn redirect at {loop.head:#x} reverted"
+                )
+            self.recovery_log.append(
+                f"torn: redirect at {loop.head:#x} reverted from journal"
+            )
+            raise TraceCacheError(
+                f"torn redirect write at {loop.head:#x} detected and reverted"
+            )
 
         deployment = Deployment(loop, entry, optimization, head_patch, n_rewrites)
         self.deployments.append(deployment)
         return deployment
 
-    def rollback(self, program: BinaryImage, deployment: Deployment) -> None:
-        """Undo a deployment (the trace becomes unreachable)."""
+    @staticmethod
+    def _tear(old: Bundle, redirect: Bundle, entry: int) -> Bundle:
+        """A redirect write that stopped partway: old/new slots mixed."""
+        candidates = (
+            Bundle([old.slots[0], redirect.slots[1], redirect.slots[2]]),
+            Bundle([redirect.slots[0], old.slots[1], redirect.slots[2]]),
+            Bundle([redirect.slots[0], redirect.slots[1], old.slots[2]], old.template),
+        )
+        for torn in candidates:
+            if torn != redirect:
+                return torn
+        return redirect
+
+    def rollback(self, program: BinaryImage, deployment: Deployment) -> bool:
+        """Undo a deployment (the trace becomes unreachable).
+
+        Idempotent: rolling back an already-inactive deployment is a
+        recorded no-op, never an error — the pending-evaluation and
+        phase-change paths may both decide to revert the same trace.
+        Returns ``True`` when this call performed the revert.
+        """
         if not deployment.active:
-            raise TraceCacheError("deployment already rolled back")
+            self.recovery_log.append(
+                f"rollback-noop: loop {deployment.loop.head:#x} already inactive"
+            )
+            return False
         program.revert_patch(deployment.head_patch)
         deployment.active = False
+        return True

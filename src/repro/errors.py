@@ -88,6 +88,15 @@ class TraceCacheError(CobraError):
     """Raised when the trace cache is exhausted or a patch is illegal."""
 
 
+class FaultError(ReproError):
+    """Raised on invalid use of the fault-injection subsystem itself.
+
+    Never raised *because* a fault was injected — injected faults must
+    be degraded around, not propagated; this error flags a malformed
+    plan or ledger misuse (e.g. classifying the same event twice).
+    """
+
+
 class WorkloadError(ReproError):
     """Raised on invalid workload parameters."""
 

@@ -1,0 +1,188 @@
+"""Chaos harness: fault schedules must never change program outputs.
+
+Mirrors :class:`repro.validate.differential.DifferentialHarness`, but
+instead of sweeping optimization strategies against a baseline, it
+sweeps *fault schedules* against the fault-free run.  The robustness
+invariant it enforces:
+
+* under any fault schedule, the program's committed outputs are
+  bit-identical to the fault-free run (faults may cost performance,
+  never correctness);
+* no injected fault escapes as an unhandled exception;
+* the run ends with a fully accounted fault ledger — every injected
+  fault is either detected (actively recovered) or tolerated (harmless
+  by construction).
+
+Each cell of the (machine × strategy × seed) matrix runs on a fresh
+machine with a fresh program build, so fault schedules cannot
+contaminate each other and every failure replays from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from ..config import FaultConfig
+from ..cpu.machine import Machine
+from ..validate.differential import (
+    WorkloadSpec,
+    _digest,
+    _snapshot_arrays,
+    default_machines,
+)
+from .injector import FaultLedger
+
+__all__ = ["ChaosHarness", "ChaosRecord", "ChaosReport", "CHAOS_STRATEGIES"]
+
+#: Strategies worth faulting: every COBRA mode that actually monitors
+#: and patches ("none" has no runtime to attack — it is the reference).
+CHAOS_STRATEGIES = ("noprefetch", "excl", "adaptive")
+
+
+@dataclass(frozen=True)
+class ChaosRecord:
+    """One faulted (machine, strategy, seed) cell."""
+
+    machine: str
+    strategy: str
+    seed: int
+    cycles: int
+    digest: str
+    mode: str
+    quarantined: int
+    recoveries: int
+    ledger: FaultLedger
+
+    @property
+    def label(self) -> str:
+        return f"{self.machine}/{self.strategy}/seed={self.seed}"
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos sweep."""
+
+    workload: str
+    baseline_digests: dict[str, str] = field(default_factory=dict)
+    records: list[ChaosRecord] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def total_injected(self) -> int:
+        return sum(r.ledger.injected for r in self.records)
+
+    def summary(self) -> str:
+        injected = self.total_injected()
+        detected = sum(r.ledger.detected for r in self.records)
+        tolerated = sum(r.ledger.tolerated for r in self.records)
+        lines = [
+            f"chaos[{self.workload}]: {len(self.records)} faulted run(s), "
+            f"{injected} fault(s) injected = {detected} detected + "
+            f"{tolerated} tolerated, {'OK' if self.ok else 'FAIL'}"
+        ]
+        for rec in self.records:
+            lines.append(
+                f"  {rec.label:34s} cycles={rec.cycles:<10d} "
+                f"digest={rec.digest[:12]} mode={rec.mode} "
+                f"injected={rec.ledger.injected} quarantined={rec.quarantined}"
+            )
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+class ChaosHarness:
+    """Runs one workload across the machine × strategy × seed matrix."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        machines: Mapping[str, Callable[[], Machine]] | None = None,
+        strategies: tuple[str, ...] = CHAOS_STRATEGIES,
+        seeds: tuple[int, ...] = (0,),
+        fault_config: FaultConfig | None = None,
+        max_bundles: int | None = None,
+    ) -> None:
+        self.workload = workload
+        self.machines = dict(machines) if machines is not None else default_machines()
+        self.strategies = strategies
+        self.seeds = seeds
+        #: per-cell plans are this template re-seeded per run
+        self.fault_config = fault_config if fault_config is not None else FaultConfig()
+        self.max_bundles = max_bundles
+
+    def _baseline(self, mname: str, factory: Callable[[], Machine]) -> str:
+        """Fault-free reference digest (plain run, no COBRA, no faults)."""
+        machine = factory()
+        prog = self.workload.build(machine)
+        prog.run(max_bundles=self.max_bundles)
+        return _digest(_snapshot_arrays(prog))
+
+    def _faulted(
+        self, mname: str, factory: Callable[[], Machine], strategy: str, seed: int
+    ) -> tuple[ChaosRecord | None, str | None]:
+        # deferred: repro.core imports repro.faults at module scope
+        from ..core.framework import run_with_cobra
+
+        machine = factory()
+        prog = self.workload.build(machine)
+        config = replace(
+            machine.config.cobra, faults=replace(self.fault_config, seed=seed)
+        )
+        label = f"{mname}/{strategy}/seed={seed}"
+        try:
+            result, report = run_with_cobra(
+                prog, strategy, config=config, max_bundles=self.max_bundles
+            )
+        except Exception as exc:  # the invariant is *zero* escapes
+            return None, f"{label}: unhandled {type(exc).__name__}: {exc}"
+        record = ChaosRecord(
+            machine=mname,
+            strategy=strategy,
+            seed=seed,
+            cycles=result.cycles,
+            digest=_digest(_snapshot_arrays(prog)),
+            mode=report.mode,
+            quarantined=sum(report.quarantined.values()),
+            recoveries=len(report.recovery_log),
+            ledger=report.faults,
+        )
+        return record, None
+
+    def run(self) -> ChaosReport:
+        report = ChaosReport(self.workload.name)
+        for mname, factory in self.machines.items():
+            report.baseline_digests[mname] = self._baseline(mname, factory)
+            for strategy in self.strategies:
+                for seed in self.seeds:
+                    record, error = self._faulted(mname, factory, strategy, seed)
+                    if error is not None:
+                        report.failures.append(error)
+                        continue
+                    report.records.append(record)
+                    base = report.baseline_digests[mname]
+                    if record.digest != base:
+                        report.failures.append(
+                            f"{record.label}: output digest {record.digest[:12]} "
+                            f"differs from fault-free {base[:12]} — a fault "
+                            "reached program correctness"
+                        )
+                    if not record.ledger.accounted:
+                        report.failures.append(
+                            f"{record.label}: {record.ledger.outstanding} injected "
+                            "fault(s) unaccounted (neither detected nor tolerated)"
+                        )
+                    if record.mode not in ("normal", "monitor-only"):
+                        report.failures.append(
+                            f"{record.label}: unknown end mode {record.mode!r}"
+                        )
+        if report.records and report.total_injected() == 0:
+            report.failures.append(
+                "fault schedule injected nothing across the whole matrix — "
+                "raise the rates or the run length; this sweep proved nothing"
+            )
+        return report

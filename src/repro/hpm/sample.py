@@ -42,3 +42,30 @@ class Sample:
 
     def has_miss(self) -> bool:
         return self.miss_pc is not None
+
+    def anomaly(self, counter_mask: int) -> str | None:
+        """Field-level sanity check; the reason this sample is garbage.
+
+        Returns ``None`` for a well-formed sample.  A real perfmon
+        buffer can hand the profiler torn or overwritten records (USB
+        overflow, signal races), so every consumer must treat a sample
+        as untrusted input: PC and BTB addresses are non-negative,
+        counters fit the PMD width (``counter_mask``), and a captured
+        miss has a non-negative latency.  Ordering anomalies (stale
+        index, time travel) need cross-sample state and are checked by
+        :class:`~repro.core.profiler.SystemProfiler`.
+        """
+        if self.pc < 0:
+            return "pc-range"
+        if self.cycles < 0:
+            return "cycles-range"
+        if len(self.counters) != 4 or any(
+            not 0 <= c <= counter_mask for c in self.counters
+        ):
+            return "counter-range"
+        for branch, target in self.btb:
+            if branch < 0 or target < 0:
+                return "btb-range"
+        if self.miss_latency is not None and self.miss_latency < 0:
+            return "latency-range"
+        return None

@@ -83,6 +83,33 @@ class BinaryImage:
         """Address the next appended bundle will receive."""
         return self._next
 
+    def truncate(self, addr: int) -> int:
+        """Discard every bundle at or above ``addr``; return the count.
+
+        Supports all-or-nothing trace deployment: a transactional
+        deploy that fails verification reclaims the bundles it appended
+        instead of leaking trace-cache capacity.  Only tail bundles can
+        go (``addr`` must lie between ``base`` and the append cursor);
+        nothing may reference them yet — the caller guarantees no
+        redirect was left pointing into the discarded range.
+        """
+        if addr % BUNDLE_BYTES:
+            raise BinaryError(f"truncate address {addr:#x} not bundle-aligned")
+        if not self.base <= addr <= self._next:
+            raise BinaryError(
+                f"truncate address {addr:#x} outside [{self.base:#x}, {self._next:#x}]"
+            )
+        removed = 0
+        for address in range(addr, self._next, BUNDLE_BYTES):
+            if self.bundles.pop(address, None) is not None:
+                removed += 1
+        self._next = addr
+        if removed:
+            # structural change (not a journaled patch): decode caches
+            # see a version bump without a journal entry and rebuild
+            self.version += 1
+        return removed
+
     def mark(self, name: str, addr: int | None = None) -> int:
         """Define label ``name`` at ``addr`` (default: the next address)."""
         if addr is None:

@@ -15,6 +15,12 @@ rewrites are semantics-preserving:
 Enable runtime checking with ``CobraConfig.validate`` (``"strict"`` or
 ``"record"``), the ``REPRO_VALIDATE`` environment variable, or run the
 whole suite from the CLI: ``python -m repro validate``.
+
+A fourth, adversarial layer lives in :mod:`repro.faults`: a seeded
+fault injector plus a :class:`~repro.faults.chaos.ChaosHarness` that
+reuses this package's workload specs and digests to prove outputs stay
+bit-identical under injected sampling, patching, and control-loop
+faults (``python -m repro chaos``).
 """
 
 from .checker import VALIDATE_MODES, AccessEvent, CoherenceChecker, EvictEvent

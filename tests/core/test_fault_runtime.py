@@ -1,0 +1,232 @@
+"""Runtime hardening under fault injection.
+
+Covers the pieces the chaos harness exercises end-to-end, but at unit
+granularity: sanitizer quarantine counters, transactional deployment
+(torn/stale/exhaustion all-or-nothing), the optimizer watchdog with its
+monitor-only degraded mode, and the fault ledger on the COBRA report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import StreamLoop, Term
+from repro.config import CobraConfig, FaultConfig, itanium2_smp
+from repro.core.filters import MissStats
+from repro.core.framework import run_with_cobra
+from repro.core.opts import make_noprefetch_rewrite
+from repro.core.profiler import SystemProfiler
+from repro.core.tracecache import TraceCache
+from repro.core.tracesel import LoopTrace
+from repro.cpu import Machine
+from repro.errors import TraceCacheError
+from repro.faults import FaultInjector
+from repro.hpm.counters import COUNTER_MASK
+from repro.hpm.sample import Sample
+from repro.isa import Op
+from repro.runtime import ParallelProgram
+from repro.workloads import BENCHMARKS
+
+
+def _sample(index=0, thread=0, counters=(1, 1, 1, 1), cycles=10, pc=0x100):
+    return Sample(
+        index=index,
+        pc=pc,
+        pid=0,
+        thread_id=thread,
+        cpu_id=thread,
+        counters=counters,
+        btb=(),
+        miss_pc=None,
+        miss_latency=None,
+        miss_addr=None,
+        cycles=cycles,
+    )
+
+
+def _program(machine, n=256):
+    prog = ParallelProgram(machine, "fr")
+    prog.array("x", n, np.arange(n, dtype=float))
+    prog.array("y", n, 1.0)
+    fn = prog.kernel(StreamLoop("k", dest="y", terms=(Term("y", 1.0, 0), Term("x", 2.0, 0))))
+    prog.parallel_for(fn, n, 1)
+    prog.build(outer_reps=3)
+    return prog, fn
+
+
+def _loop_of(prog, fn):
+    image = prog.image
+    head = image.labels[".k_loop"]
+    back = None
+    for addr, slot in image.find_ops(Op.BR_CTOP, fn.region):
+        back = addr + slot
+    trace = LoopTrace(head=head, back_branch=back, hotness=10)
+    trace.lfetch_sites = image.find_ops(Op.LFETCH, (head, addr))
+    trace.misses = [MissStats(pc=head, samples=10, coherent=10, total_latency=2000)]
+    return trace
+
+
+def _patch_injector(kind):
+    return FaultInjector(FaultConfig(patch_rate=1.0, kinds=(kind,)))
+
+
+class TestSanitizer:
+    def test_out_of_range_counters_quarantined(self):
+        profiler = SystemProfiler(CobraConfig())
+        profiler._ingest_sample(_sample(index=0, counters=(COUNTER_MASK + 7, 0, 0, 0)))
+        assert profiler.quarantined == {"counter-range": 1}
+        assert profiler.samples_seen == 0
+
+    def test_reasons_counted_separately(self):
+        profiler = SystemProfiler(CobraConfig())
+        profiler._ingest_sample(_sample(index=0))
+        profiler._ingest_sample(_sample(index=0))                    # duplicate
+        profiler._ingest_sample(_sample(index=1, cycles=3))          # goes backwards
+        profiler._ingest_sample(_sample(index=2, pc=-5))
+        profiler._ingest_sample(_sample(index=2, counters=(-1, 0, 0, 0)))
+        assert profiler.quarantined == {
+            "stale-index": 1,
+            "time-travel": 1,
+            "pc-range": 1,
+            "counter-range": 1,
+        }
+        assert profiler.quarantined_total == 4
+        assert profiler.samples_seen == 1
+
+    def test_quarantined_sample_never_touches_profiles(self):
+        profiler = SystemProfiler(CobraConfig())
+        profiler._ingest_sample(_sample(index=0, counters=(10, 0, 0, 0)))
+        profiler._ingest_sample(_sample(index=1, counters=(20, 5, 0, 0)))
+        ratio = profiler.coherent_ratio()
+        profiler._ingest_sample(
+            _sample(index=2, counters=(COUNTER_MASK + 99, 99, 99, 99))
+        )
+        assert profiler.coherent_ratio() == ratio
+
+    def test_corruption_claim_reaches_the_injector(self):
+        injector = FaultInjector(
+            FaultConfig(sample_rate=1.0, kinds=("corrupt_sample",))
+        )
+        event = injector.sample_fault()
+        damaged = injector.corrupt_sample(event, _sample(index=0))
+        profiler = SystemProfiler(CobraConfig(), faults=injector)
+        profiler._ingest_sample(damaged)
+        assert event.status == "detected"
+        assert injector.ledger().accounted
+
+
+class TestTransactionalDeploy:
+    def test_torn_patch_reverted_all_or_nothing(self, smp2):
+        prog, fn = _program(smp2)
+        loop = _loop_of(prog, fn)
+        original = prog.image.fetch_bundle(loop.head)
+        cache = TraceCache(faults=_patch_injector("torn_patch"))
+        with pytest.raises(TraceCacheError, match="torn"):
+            cache.deploy(prog.image, loop, make_noprefetch_rewrite(), "np")
+        assert prog.image.fetch_bundle(loop.head) == original
+        assert cache.used_bundles == 0            # trace reclaimed
+        assert cache.deployments == []
+        assert any("torn" in line for line in cache.recovery_log)
+        assert cache.faults.ledger().accounted
+
+    def test_stale_image_discarded_before_redirect(self, smp2):
+        prog, fn = _program(smp2)
+        loop = _loop_of(prog, fn)
+        original = prog.image.fetch_bundle(loop.head)
+        cache = TraceCache(faults=_patch_injector("stale_image"))
+        with pytest.raises(TraceCacheError, match="stale"):
+            cache.deploy(prog.image, loop, make_noprefetch_rewrite(), "np")
+        assert prog.image.fetch_bundle(loop.head) == original
+        assert cache.used_bundles == 0
+        assert cache.faults.ledger().accounted
+
+    def test_injected_exhaustion_refuses_cleanly(self, smp2):
+        prog, fn = _program(smp2)
+        loop = _loop_of(prog, fn)
+        cache = TraceCache(faults=_patch_injector("cache_exhaustion"))
+        with pytest.raises(TraceCacheError, match="full"):
+            cache.deploy(prog.image, loop, make_noprefetch_rewrite(), "np")
+        assert cache.used_bundles == 0
+        assert cache.faults.ledger().accounted
+
+    def test_deploy_succeeds_after_faults_exhaust(self, smp2):
+        # one injected failure must not poison the next attempt
+        prog, fn = _program(smp2)
+        loop = _loop_of(prog, fn)
+        injector = FaultInjector(
+            FaultConfig(patch_rate=0.0)  # no further draws fire
+        )
+        cache = TraceCache(faults=injector)
+        smp2.load_image(cache.image)
+        deployment = cache.deploy(prog.image, loop, make_noprefetch_rewrite(), "np")
+        assert deployment.active
+        prog.run(max_bundles=5_000_000)
+        assert np.allclose(prog.f64("y")[:256], 1.0 + 6.0 * np.arange(256))
+
+
+def _run_cg(seed=0, strategy="adaptive", threshold=8, **rates):
+    machine = Machine(itanium2_smp(4, scale=16))
+    prog = BENCHMARKS["cg"].build(machine, 4, reps=4)
+    config = CobraConfig(
+        faults=FaultConfig(seed=seed, **rates),
+        fault_escalation_threshold=threshold,
+    )
+    result, report = run_with_cobra(prog, strategy, config=config)
+    return prog, result, report
+
+
+class TestWatchdogAndDegradedMode:
+    def test_dead_monitor_restarted_and_claimed(self):
+        _, _, report = _run_cg(loop_rate=1.0, kinds=("monitor_death",))
+        recovers = [e for e in report.events if e.kind == "recover"]
+        assert recovers, "watchdog never restarted a killed monitor"
+        assert report.faults.accounted
+        assert report.faults.by_kind.get("monitor_death", 0) >= 1
+
+    def test_repeated_deploy_faults_degrade_to_monitor_only(self):
+        _, _, report = _run_cg(
+            patch_rate=1.0, kinds=("torn_patch",), threshold=2
+        )
+        assert report.mode == "monitor-only"
+        degrades = [e for e in report.events if e.kind == "degrade"]
+        assert len(degrades) == 1
+        # degraded mode reverts every deployment: only originals run
+        assert report.deployments == []
+        assert report.faults.accounted
+
+    def test_degraded_run_keeps_outputs_correct(self):
+        prog, _, report = _run_cg(
+            patch_rate=1.0, kinds=("torn_patch",), threshold=1
+        )
+        assert report.mode == "monitor-only"
+        assert BENCHMARKS["cg"].verify(prog, 4)
+
+    def test_missed_wakeup_only_delays_adaptation(self):
+        prog, _, report = _run_cg(loop_rate=0.5, kinds=("missed_wakeup",))
+        assert report.mode == "normal"
+        assert report.faults.accounted
+        assert BENCHMARKS["cg"].verify(prog, 4)
+
+
+class TestReportLedger:
+    def test_summary_carries_fault_ledger(self):
+        _, _, report = _run_cg(sample_rate=0.3, loop_rate=0.5)
+        assert report.faults is not None
+        text = report.summary()
+        assert "faults[seed=0]" in text
+        assert f"{report.faults.injected} injected" in text
+
+    def test_summary_reports_quarantine_and_mode(self):
+        _, _, report = _run_cg(
+            sample_rate=0.6, patch_rate=1.0, loop_rate=0.5, threshold=1
+        )
+        text = report.summary()
+        if report.quarantined:
+            assert "quarantined" in text
+        if report.mode != "normal":
+            assert "degraded mode: monitor-only" in text
+
+    def test_faultless_report_has_no_ledger(self, smp4):
+        prog = BENCHMARKS["cg"].build(smp4, 4, reps=2)
+        _, report = run_with_cobra(prog, "adaptive")
+        assert report.faults is None
+        assert "faults[" not in report.summary()

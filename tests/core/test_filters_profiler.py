@@ -95,9 +95,9 @@ class TestSystemProfiler:
         profiler = SystemProfiler(CobraConfig())
         monitor = self._monitor_stub(
             [
-                _sample(thread=0, counters=(100, 0, 0, 0)),
-                _sample(thread=1, counters=(500, 0, 0, 0)),
-                _sample(thread=0, counters=(150, 25, 0, 0)),
+                _sample(thread=0, counters=(100, 0, 0, 0), index=0),
+                _sample(thread=1, counters=(500, 0, 0, 0), index=0),
+                _sample(thread=0, counters=(150, 25, 0, 0), index=1),
             ]
         )
         profiler.ingest([monitor])
@@ -107,8 +107,8 @@ class TestSystemProfiler:
         profiler = SystemProfiler(CobraConfig())
         monitor = self._monitor_stub(
             [
-                _sample(btb=[(0x200, 0x100), (0x300, 0x400)]),
-                _sample(btb=[(0x200, 0x100)]),
+                _sample(btb=[(0x200, 0x100), (0x300, 0x400)], index=0),
+                _sample(btb=[(0x200, 0x100)], index=1),
             ]
         )
         profiler.ingest([monitor])

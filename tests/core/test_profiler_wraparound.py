@@ -22,8 +22,8 @@ def _sample(thread=0, counters=(0, 0, 0, 0), index=0):
     )
 
 
-def _ingest(profiler, snapshots, thread=0):
-    for i, counters in enumerate(snapshots):
+def _ingest(profiler, snapshots, thread=0, start=0):
+    for i, counters in enumerate(snapshots, start=start):
         profiler._ingest_sample(_sample(thread=thread, counters=counters, index=i))
 
 
@@ -99,5 +99,5 @@ class TestWindowDecay:
         _ingest(profiler, [(0, 0, 0, 0), (1000, 300, 0, 0)])  # ratio 0.3 phase
         for _ in range(12):
             profiler.new_window()
-        _ingest(profiler, [(1000, 300, 0, 0), (2000, 320, 0, 0)])  # ratio 0.02
+        _ingest(profiler, [(1000, 300, 0, 0), (2000, 320, 0, 0)], start=2)  # ratio 0.02
         assert abs(profiler.coherent_ratio() - 0.02) < 0.005

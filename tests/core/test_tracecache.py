@@ -96,11 +96,13 @@ class TestDeployment:
         loop = _loop_of(prog, fn)
         original = prog.image.fetch_bundle(loop.head)
         deployment = cache.deploy(prog.image, loop, make_noprefetch_rewrite(), "np")
-        cache.rollback(prog.image, deployment)
+        assert cache.rollback(prog.image, deployment) is True
         assert prog.image.fetch_bundle(loop.head) == original
         assert not deployment.active
-        with pytest.raises(TraceCacheError):
-            cache.rollback(prog.image, deployment)
+        # idempotent: a second rollback is a recorded no-op, not an error
+        assert cache.rollback(prog.image, deployment) is False
+        assert prog.image.fetch_bundle(loop.head) == original
+        assert any("rollback-noop" in line for line in cache.recovery_log)
         # correctness after rollback
         prog.run(max_bundles=5_000_000)
         assert np.allclose(prog.f64("y")[:256], 1.0 + 6.0 * np.arange(256))

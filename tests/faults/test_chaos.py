@@ -1,0 +1,56 @@
+"""ChaosHarness: fault sweeps preserve outputs and account every fault."""
+
+from repro.config import FaultConfig, itanium2_smp
+from repro.cpu import Machine
+from repro.faults import CHAOS_STRATEGIES, ChaosHarness
+from repro.validate.differential import daxpy_spec
+
+RATES = FaultConfig(sample_rate=0.2, patch_rate=0.8, loop_rate=0.4)
+
+
+def _harness(seeds=(0, 1), strategies=("adaptive",), fault_config=RATES):
+    return ChaosHarness(
+        daxpy_spec(n_threads=2, reps=4),
+        machines={"smp2": lambda: Machine(itanium2_smp(2, scale=16))},
+        strategies=strategies,
+        seeds=seeds,
+        fault_config=fault_config,
+    )
+
+
+class TestChaosHarness:
+    def test_sweep_is_clean_and_injects(self):
+        report = _harness(seeds=(0, 1, 2)).run()
+        assert report.ok, report.summary()
+        assert report.total_injected() > 0
+        assert len(report.records) == 3
+        for record in report.records:
+            assert record.digest == report.baseline_digests["smp2"]
+            assert record.ledger.accounted
+
+    def test_same_seed_replays_identically(self):
+        first = _harness(seeds=(5,)).run()
+        second = _harness(seeds=(5,)).run()
+        a, b = first.records[0], second.records[0]
+        assert a.cycles == b.cycles
+        assert a.ledger.injected == b.ledger.injected
+        assert a.ledger.by_kind == b.ledger.by_kind
+        assert [e.kind for e in a.ledger.events] == [e.kind for e in b.ledger.events]
+
+    def test_zero_injection_sweep_fails(self):
+        report = _harness(
+            fault_config=FaultConfig(sample_rate=0.0, patch_rate=0.0, loop_rate=0.0)
+        ).run()
+        assert not report.ok
+        assert any("injected nothing" in failure for failure in report.failures)
+
+    def test_summary_lists_every_record(self):
+        report = _harness().run()
+        text = report.summary()
+        assert "chaos[" in text
+        for record in report.records:
+            assert record.label in text
+
+    def test_default_strategy_matrix_excludes_baseline(self):
+        assert "none" not in CHAOS_STRATEGIES
+        assert set(CHAOS_STRATEGIES) == {"noprefetch", "excl", "adaptive"}

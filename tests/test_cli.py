@@ -54,6 +54,25 @@ class TestCli:
     def test_validate_unknown_workload(self, capsys):
         assert main(["validate", "--workloads", "nope"]) == 2
 
+    def test_chaos_daxpy(self, capsys):
+        rc = main([
+            "chaos", "--workloads", "daxpy", "--seed", "3", "--runs", "2",
+            "--threads", "2", "--reps", "3", "--strategies", "adaptive",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos[daxpy" in out
+        assert "seed=3" in out and "seed=4" in out
+        assert "chaos: OK" in out
+
+    def test_chaos_unknown_workload(self, capsys):
+        assert main(["chaos", "--workloads", "nope"]) == 2
+
+    def test_chaos_bad_rate(self, capsys):
+        rc = main(["chaos", "--sample-rate", "7"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "sample_rate" in err
+
 
 class TestStrategyValidation:
     """Unknown strategy names are rejected at the CLI boundary with a
@@ -97,3 +116,8 @@ class TestStrategyValidation:
         rc = main(["bench", "--benchmarks", "nope"])
         err = capsys.readouterr().err
         assert rc == 2 and "unknown benchmark 'nope'" in err
+
+    def test_chaos_unknown_strategy(self, capsys):
+        rc = main(["chaos", "--strategies", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown strategy 'bogus'" in err
