@@ -8,24 +8,32 @@ Examples::
     python -m repro disasm daxpy
     python -m repro validate --workloads daxpy cg mg
     python -m repro chaos --workloads daxpy cg --seed 7 --runs 3
+    python -m repro daxpy --checkpoint-dir ckpt --strategy noprefetch
+    python -m repro resume --checkpoint-dir ckpt
+    python -m repro recovery --workloads daxpy --stride 4
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import json
 
+from dataclasses import replace
+
 from .analysis import format_table1
 from .bench import BENCH_STRATEGIES, FULL_BENCHMARKS, format_report, run_bench
-from .config import FaultConfig, itanium2_smp, sgi_altix
+from .config import FaultConfig, PersistConfig, itanium2_smp, sgi_altix
 from .core import STRATEGIES, run_with_cobra
 from .faults import CHAOS_STRATEGIES, ChaosHarness
 from .cpu import Machine
 from .isa import Op, disassemble
+from .persist import FileDisk, recover
 from .validate import (
     DifferentialHarness,
+    RecoveryHarness,
     check_image,
     daxpy_spec,
     default_machines,
@@ -67,6 +75,19 @@ def _machine(args) -> tuple[Machine, int]:
     return machine, threads
 
 
+def _checkpoint_config(args, machine: Machine, meta: dict):
+    """COBRA config carrying the checkpoint store, or ``None`` for stock.
+
+    ``meta`` is the workload descriptor journaled into the store so that
+    ``repro resume`` can rebuild the same machine and program without
+    any side-channel file.
+    """
+    if not args.checkpoint_dir:
+        return None
+    persist = PersistConfig(directory=args.checkpoint_dir, meta=meta)
+    return replace(machine.config.cobra, persist=persist)
+
+
 def _report_run(result, report, verified: bool | None) -> int:
     print(f"cycles:          {result.cycles}")
     print(f"retired:         {result.retired}")
@@ -83,19 +104,38 @@ def _report_run(result, report, verified: bool | None) -> int:
 def _cmd_daxpy(args) -> int:
     if args.strategy not in CLI_STRATEGIES:
         return _bad_strategy(args.strategy, CLI_STRATEGIES)
+    if args.checkpoint_dir and args.strategy == "baseline":
+        print(
+            "repro: error: --checkpoint-dir requires a COBRA strategy "
+            "(the baseline has no runtime state to checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
     machine, threads = _machine(args)
     n = working_set_elems(args.working_set, machine.config.scale)
     prog = build_daxpy(machine, n, threads, outer_reps=args.reps)
     if args.strategy == "baseline":
         result, report = prog.run(), None
     else:
-        result, report = run_with_cobra(prog, args.strategy)
+        config = _checkpoint_config(args, machine, {
+            "cmd": "daxpy", "machine": args.machine, "threads": threads,
+            "scale": args.scale, "working_set": args.working_set,
+            "reps": args.reps, "strategy": args.strategy,
+        })
+        result, report = run_with_cobra(prog, args.strategy, config=config)
     return _report_run(result, report, verify_daxpy(prog, args.reps))
 
 
 def _cmd_npb(args) -> int:
     if args.strategy not in CLI_STRATEGIES:
         return _bad_strategy(args.strategy, CLI_STRATEGIES)
+    if args.checkpoint_dir and args.strategy == "baseline":
+        print(
+            "repro: error: --checkpoint-dir requires a COBRA strategy "
+            "(the baseline has no runtime state to checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
     bench = BENCHMARKS[args.benchmark]
     machine, threads = _machine(args)
     reps = args.reps or bench.default_reps
@@ -103,8 +143,68 @@ def _cmd_npb(args) -> int:
     if args.strategy == "baseline":
         result, report = prog.run(), None
     else:
-        result, report = run_with_cobra(prog, args.strategy)
+        config = _checkpoint_config(args, machine, {
+            "cmd": "npb", "benchmark": args.benchmark, "machine": args.machine,
+            "threads": threads, "scale": args.scale, "reps": reps,
+            "strategy": args.strategy,
+        })
+        result, report = run_with_cobra(prog, args.strategy, config=config)
     return _report_run(result, report, bench.verify(prog, reps))
+
+
+def _cmd_resume(args) -> int:
+    """Warm-restart a checkpointed run from its workload descriptor."""
+    if not os.path.isdir(args.checkpoint_dir):
+        print(
+            f"repro: error: no checkpoint directory {args.checkpoint_dir!r}",
+            file=sys.stderr,
+        )
+        return 2
+    recovered = recover(FileDisk(args.checkpoint_dir))
+    meta = recovered.meta
+    if not meta:
+        print(
+            f"repro: error: no resumable checkpoint in {args.checkpoint_dir!r} "
+            "(no workload descriptor recovered)",
+            file=sys.stderr,
+        )
+        return 2
+    mname = meta.get("machine", "smp4")
+    if mname not in MACHINES:
+        print(
+            f"repro: error: checkpoint names unknown machine {mname!r}",
+            file=sys.stderr,
+        )
+        return 2
+    strategy = meta.get("strategy", "adaptive")
+    if strategy not in STRATEGIES:
+        return _bad_strategy(strategy, STRATEGIES)
+    factory, default_threads = MACHINES[mname]
+    machine = Machine(factory(int(meta.get("scale", 16))))
+    threads = int(meta.get("threads") or default_threads)
+    cmd = meta.get("cmd")
+    if cmd == "daxpy":
+        n = working_set_elems(meta.get("working_set", "128K"), machine.config.scale)
+        reps = int(meta.get("reps", 20))
+        prog = build_daxpy(machine, n, threads, outer_reps=reps)
+        verified = lambda p: verify_daxpy(p, reps)  # noqa: E731
+    elif cmd == "npb" and meta.get("benchmark") in BENCHMARKS:
+        bench = BENCHMARKS[meta["benchmark"]]
+        reps = int(meta.get("reps") or bench.default_reps)
+        prog = bench.build(machine, threads, reps=reps)
+        verified = lambda p: bench.verify(p, reps)  # noqa: E731
+    else:
+        print(
+            f"repro: error: checkpoint descriptor names unknown workload {cmd!r}",
+            file=sys.stderr,
+        )
+        return 2
+    config = replace(
+        machine.config.cobra,
+        persist=PersistConfig(directory=args.checkpoint_dir, meta=meta),
+    )
+    result, report = run_with_cobra(prog, strategy, config=config)
+    return _report_run(result, report, verified(prog))
 
 
 def _cmd_table1(args) -> int:
@@ -226,6 +326,53 @@ def _cmd_chaos(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_recovery(args) -> int:
+    if args.strategy not in STRATEGIES:
+        return _bad_strategy(args.strategy, STRATEGIES)
+    if args.stride < 1:
+        print(
+            f"repro: error: --stride must be >= 1, got {args.stride}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.torn_bytes < 0:
+        print(
+            f"repro: error: --torn-bytes must be >= 0, got {args.torn_bytes}",
+            file=sys.stderr,
+        )
+        return 2
+    torn_modes = (None, args.torn_bytes) if args.torn_bytes else (None,)
+    # small-scale machines: the sweep workloads must actually cross the
+    # deployment threshold, or the sweep never replays a transaction
+    machines = default_machines(args.threads, scale=4)
+    failures = 0
+    ledgers = []
+    for name in args.workloads:
+        if name == "daxpy":
+            spec = daxpy_spec(n_elems=2048, n_threads=args.threads, reps=args.reps)
+        elif name in BENCHMARKS:
+            spec = npb_spec(name, n_threads=args.threads, reps=args.reps or None)
+        else:
+            print(f"unknown workload {name!r}", file=sys.stderr)
+            return 2
+        harness = RecoveryHarness(
+            spec, machines, strategy=args.strategy, stride=args.stride,
+            torn_modes=torn_modes,
+        )
+        report = harness.run()
+        print(report.summary())
+        ledgers.append(report.to_json())
+        if not report.ok:
+            failures += 1
+    if args.ledger_out:
+        with open(args.ledger_out, "w", encoding="utf-8") as fh:
+            json.dump({"reports": ledgers}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.ledger_out}")
+    print("recovery:", "OK" if failures == 0 else f"{failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
 def _cmd_bench(args) -> int:
     for name in args.strategies or ():
         if name not in BENCH_STRATEGIES:
@@ -271,6 +418,11 @@ def _parser() -> argparse.ArgumentParser:
         "--strategy",
         metavar="{" + ",".join(CLI_STRATEGIES) + "}",
         default="adaptive",
+    )
+    common.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist a crash-consistent checkpoint store (journal + "
+        "snapshots) in DIR; continue it later with 'repro resume'",
     )
 
     daxpy = sub.add_parser("daxpy", parents=[common], help="run the OpenMP DAXPY kernel")
@@ -351,6 +503,51 @@ def _parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=_cmd_chaos)
 
+    resume = sub.add_parser(
+        "resume",
+        help="warm-restart a checkpointed run: recover the store, re-deploy "
+        "previously proven optimizations, and continue the workload",
+    )
+    resume.add_argument(
+        "--checkpoint-dir", required=True, metavar="DIR",
+        help="directory written by a previous run's --checkpoint-dir",
+    )
+    resume.set_defaults(func=_cmd_resume)
+
+    recovery = sub.add_parser(
+        "recovery",
+        help="crash-recovery sweep: kill the run at durable checkpoint "
+        "writes (incl. mid-write tears), restart from the surviving store, "
+        "and require outputs bit-identical to an uninterrupted run",
+    )
+    recovery.add_argument(
+        "--workloads", nargs="+", default=["daxpy"],
+        help="'daxpy' and/or NPB benchmark names",
+    )
+    recovery.add_argument("--threads", type=int, default=4)
+    recovery.add_argument(
+        "--reps", type=int, default=14,
+        help="outer repetitions per run (enough for a deployment)",
+    )
+    recovery.add_argument(
+        "--stride", type=int, default=4,
+        help="crash at every stride-th durable write (1 = every write)",
+    )
+    recovery.add_argument(
+        "--torn-bytes", type=int, default=7,
+        help="also crash mid-write leaving this many durable bytes "
+        "(0 = clean boundary kills only)",
+    )
+    recovery.add_argument(
+        "--strategy", default="noprefetch", metavar="STRATEGY",
+        help="COBRA strategy to run under the sweep",
+    )
+    recovery.add_argument(
+        "--ledger-out", default=None, metavar="PATH",
+        help="write the sweep's JSON ledger (cells, digests, failures) here",
+    )
+    recovery.set_defaults(func=_cmd_recovery)
+
     bench = sub.add_parser(
         "bench",
         help="time the simulator hot path and write BENCH_perf.json",
@@ -383,6 +580,31 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_env() -> str | None:
+    """Reject malformed REPRO_* overrides before any work starts.
+
+    The framework raises :class:`~repro.errors.CobraError` for these
+    too, but mid-run and per-construction; catching them here keeps the
+    CLI contract of one-line diagnostics and exit code 2.
+    """
+    env = os.environ.get("REPRO_FAULTS", "").strip()
+    if env:
+        try:
+            seed = int(env)
+        except ValueError:
+            seed = -1
+        if seed < 0:
+            return f"REPRO_FAULTS must be a non-negative integer seed, got {env!r}"
+    ckpt = os.environ.get("REPRO_CHECKPOINT", "").strip()
+    if ckpt and os.path.exists(ckpt) and not os.path.isdir(ckpt):
+        return f"REPRO_CHECKPOINT must name a checkpoint directory, got {ckpt!r}"
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
+    error = _validate_env()
+    if error is not None:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
     args = _parser().parse_args(argv)
     return args.func(args)

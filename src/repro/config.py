@@ -30,6 +30,7 @@ __all__ = [
     "BusConfig",
     "LatencyConfig",
     "FaultConfig",
+    "PersistConfig",
     "CobraConfig",
     "MachineConfig",
     "itanium2_smp",
@@ -139,12 +140,67 @@ class FaultConfig:
     patch_rate: float = 0.2
     loop_rate: float = 0.05
     kinds: tuple[str, ...] | None = None
+    #: kill the run at the Nth durable persistence write (1-based);
+    #: ``None`` disables crash injection.  Only meaningful when a
+    #: checkpoint store is attached (:attr:`CobraConfig.persist`).
+    crash_write: int | None = None
+    #: ``None`` = die at the boundary, before the write lands; ``k`` =
+    #: make the first ``k`` bytes durable first (a torn record/temp)
+    crash_torn_bytes: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("sample_rate", "patch_rate", "loop_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.seed < 0:
+            # seeds name fault schedules in ledgers, CI matrices, and
+            # CLI replays; negatives have no meaning there
+            raise ValueError(f"seed must be a non-negative integer, got {self.seed}")
+        if self.crash_write is not None and self.crash_write < 1:
+            raise ValueError(f"crash_write must be >= 1, got {self.crash_write}")
+        if self.crash_torn_bytes is not None and self.crash_torn_bytes < 0:
+            raise ValueError(
+                f"crash_torn_bytes must be >= 0, got {self.crash_torn_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class PersistConfig:
+    """Checkpoint store attachment (:mod:`repro.persist`).
+
+    Attached to :attr:`CobraConfig.persist` (default ``None`` =
+    persistence fully disabled, zero overhead, bit-identical runs).
+    Exactly one of ``directory`` (a real filesystem checkpoint
+    directory) or ``disk`` (an injectable
+    :class:`~repro.persist.journal.Disk`, for deterministic tests and
+    the crash sweeps) must be provided.
+    """
+
+    #: checkpoint directory on the real filesystem
+    directory: str | None = None
+    #: injectable disk; overrides ``directory`` when set
+    disk: object | None = None
+    #: window (wake) records between automatic snapshots
+    snapshot_interval: int = 4
+    #: newest snapshots retained by pruning
+    snapshots_kept: int = 3
+    #: recover and warm-start from existing state (``False`` wipes the
+    #: store and starts cold)
+    resume: bool = True
+    #: workload descriptor journaled for ``repro resume`` (None = keep
+    #: whatever descriptor the store already holds)
+    meta: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.directory is None and self.disk is None:
+            raise ValueError("PersistConfig needs a directory or an injectable disk")
+        if self.snapshot_interval < 1:
+            raise ValueError(
+                f"snapshot_interval must be >= 1, got {self.snapshot_interval}"
+            )
+        if self.snapshots_kept < 1:
+            raise ValueError(f"snapshots_kept must be >= 1, got {self.snapshots_kept}")
 
 
 @dataclass(frozen=True)
@@ -187,6 +243,11 @@ class CobraConfig:
     #: variable (an integer seed) overrides this at ``Cobra``
     #: construction with a default-rate plan.
     faults: FaultConfig | None = None
+    #: Crash-consistent checkpoint store (:mod:`repro.persist`);
+    #: ``None`` disables persistence entirely.  The ``REPRO_CHECKPOINT``
+    #: environment variable (a checkpoint directory path) overrides
+    #: this at ``Cobra`` construction.
+    persist: PersistConfig | None = None
     #: Optimizer watchdog: after this many fault strikes (failed
     #: deployments, monitor deaths, quarantine surges, recorded
     #: invariant violations) the optimizer reverts every active

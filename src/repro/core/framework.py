@@ -26,12 +26,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..config import CobraConfig, FaultConfig
+from ..config import CobraConfig, FaultConfig, PersistConfig
 from ..cpu.machine import Machine
 from ..cpu.scheduler import Scheduler
 from ..errors import CobraError, InvariantViolation
 from ..faults.injector import FaultInjector, FaultLedger
 from ..isa.binary import BinaryImage
+from ..persist.manager import PersistenceManager, PersistStats
 from ..runtime.team import ParallelProgram, RunResult
 from ..validate.checker import VALIDATE_MODES, CoherenceChecker
 from .monitor import MonitoringThread
@@ -62,6 +63,13 @@ class CobraReport:
     recovery_log: list[str] = field(default_factory=list)
     #: fault/recovery ledger when ``CobraConfig.faults`` armed injection
     faults: FaultLedger | None = None
+    #: trace-cache bundles reclaimed by transactional aborts
+    reclaimed_bundles: int = 0
+    #: journal/snapshot counters when ``CobraConfig.persist`` attached
+    #: a checkpoint store
+    persist: PersistStats | None = None
+    #: this run warm-started from a recovered checkpoint
+    resumed: bool = False
 
     def summary(self) -> str:
         lines = [
@@ -92,6 +100,22 @@ class CobraReport:
             lines.append(f"  quarantined {total} sample(s): {reasons}")
         if self.recovery_log:
             lines.append(f"  {len(self.recovery_log)} transactional recovery event(s)")
+        if self.reclaimed_bundles:
+            lines.append(
+                f"  reclaimed {self.reclaimed_bundles} trace-cache bundle(s)"
+            )
+        if self.persist is not None:
+            p = self.persist
+            if self.resumed:
+                lines.append(
+                    "  warm restart: resumed from checkpoint "
+                    f"({p.records_replayed} record(s) replayed)"
+                )
+            lines.append(
+                f"  persistence: {p.records_written} record(s) written, "
+                f"{p.snapshots_written} snapshot(s), "
+                f"{p.records_discarded + p.snapshots_discarded} discarded-corrupt"
+            )
         if self.faults is not None:
             lines.append(f"  {self.faults.summary()}")
         return "\n".join(lines)
@@ -103,12 +127,35 @@ def _fault_injector(config: CobraConfig) -> FaultInjector | None:
     env = os.environ.get("REPRO_FAULTS", "").strip()
     if env:
         try:
-            fault_config = FaultConfig(seed=int(env))
+            seed = int(env)
         except ValueError:
+            seed = -1  # non-integer: rejected below with the same message
+        if seed < 0:
+            # FaultConfig would reject a negative seed anyway; catching
+            # it here keeps one diagnostic for both bad shapes instead
+            # of leaking a ValueError traceback for "-1"
             raise CobraError(
-                f"REPRO_FAULTS must be an integer seed, got {env!r}"
-            ) from None
+                f"REPRO_FAULTS must be a non-negative integer seed, got {env!r}"
+            )
+        fault_config = FaultConfig(seed=seed)
     return FaultInjector(fault_config) if fault_config is not None else None
+
+
+def _persistence(
+    config: CobraConfig, faults: FaultInjector | None
+) -> PersistenceManager | None:
+    """Build the checkpoint manager from config, with the env override."""
+    persist_config = config.persist
+    env = os.environ.get("REPRO_CHECKPOINT", "").strip()
+    if env:
+        if os.path.exists(env) and not os.path.isdir(env):
+            raise CobraError(
+                f"REPRO_CHECKPOINT must name a checkpoint directory, got {env!r}"
+            )
+        persist_config = PersistConfig(directory=env)
+    if persist_config is None:
+        return None
+    return PersistenceManager(persist_config, faults)
 
 
 class Cobra:
@@ -151,6 +198,26 @@ class Cobra:
             # escalation (strict mode raises before it matters)
             checker = self.checker
             self.optimizer.watch_violations(lambda: len(checker.violations))
+        # crash-consistent checkpointing (repro.persist): recover any
+        # existing state, then warm-start — previously proven
+        # deployments go live before the first instruction runs
+        self.persist = _persistence(self.config, self.faults)
+        self.resumed = False
+        if self.persist is not None:
+            recovered = self.persist.open()
+            self.trace_cache.persist = self.persist
+            self.optimizer.persist = self.persist
+            if recovered.state is not None:
+                self.resumed = True
+                profiler_state = recovered.state.get("profiler")
+                if profiler_state:
+                    self.optimizer.profiler.restore_state(profiler_state)
+                per_cpu = recovered.state.get("samples_per_cpu", {})
+                for monitor in self.monitors:
+                    monitor.prior_samples = int(
+                        per_cpu.get(str(monitor.core.cpu_id), 0)
+                    )
+                self.optimizer.warm_start(recovered.state)
         self._installed = False
 
     def install(self, scheduler: Scheduler) -> None:
@@ -174,12 +241,17 @@ class Cobra:
             self.optimizer.profiler.ingest(self.monitors)
         if self.checker is not None:
             self.checker.detach()
+        if self.persist is not None:
+            # final window + snapshot make a *completed* run's store the
+            # warm-start seed for the next one (no-ops after a crash:
+            # the dead disk swallows the writes)
+            self.persist.close(self.optimizer.export_state())
 
     def report(self) -> CobraReport:
         profiler = self.optimizer.profiler
         return CobraReport(
             strategy=self.strategy,
-            samples=sum(m.samples_taken for m in self.monitors),
+            samples=sum(m.prior_samples + m.samples_taken for m in self.monitors),
             deployments=self.optimizer.deployments(),
             events=list(self.optimizer.events),
             validate_checks=self.checker.checks if self.checker else 0,
@@ -188,6 +260,9 @@ class Cobra:
             quarantined=dict(profiler.quarantined),
             recovery_log=list(self.trace_cache.recovery_log),
             faults=self.faults.ledger() if self.faults is not None else None,
+            reclaimed_bundles=self.trace_cache.reclaimed_bundles,
+            persist=self.persist.stats if self.persist is not None else None,
+            resumed=self.resumed,
         )
 
 

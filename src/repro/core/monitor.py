@@ -62,6 +62,10 @@ class MonitoringThread:
         self.session = PerfmonSession(core, pid)
         self.usb: list[Sample] = []
         self.samples_taken = 0
+        #: samples taken by this core's monitor in *previous* sessions,
+        #: restored on warm restart (:mod:`repro.persist`) so lifetime
+        #: accounting on the COBRA report survives a process death
+        self.prior_samples = 0
         #: set when the thread died mid-run (fault injection); the
         #: optimizer's watchdog restarts dead monitors on its next wake
         self.dead = False

@@ -46,7 +46,7 @@ from .opts.excl import associate_stored_streams, make_excl_rewrite
 from .policy import Decision, decide
 from .profiler import SystemProfiler
 from .tracecache import Deployment, TraceCache
-from .tracesel import select_loop_traces
+from .tracesel import LoopTrace, _scan_lfetch, select_loop_traces
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
@@ -120,10 +120,22 @@ class OptimizationThread:
         # recent per-window CPIs; deployment needs a warm, phase-averaged
         # baseline (the first windows are cold-miss-inflated)
         self._cpi_history: list[float] = []
+        #: persistence manager (:mod:`repro.persist`); wired by the
+        #: framework after construction, ``None`` = no journaling
+        self.persist = None
 
     def watch_violations(self, source: Callable[[], int]) -> None:
         """Register a recorded-violation counter for the watchdog."""
         self._violation_source = source
+
+    def _log(self, event: OptEvent) -> None:
+        """Record one optimizer event (and journal it when persisting)."""
+        self.events.append(event)
+        if self.persist is not None:
+            self.persist.log_decision(
+                [event.retired, event.kind, event.loop_head,
+                 event.optimization, event.reason]
+            )
 
     # -- scheduler hook ---------------------------------------------------------
 
@@ -161,7 +173,7 @@ class OptimizationThread:
                 if deployment.active:
                     self.trace_cache.rollback(self.program, deployment)
             self._pending_eval = None
-            self.events.append(
+            self._log(
                 OptEvent(
                     retired,
                     "degrade",
@@ -182,7 +194,7 @@ class OptimizationThread:
                     self._strike(
                         retired, f"monitor {monitor.core.cpu_id} died"
                     )
-                self.events.append(
+                self._log(
                     OptEvent(
                         retired,
                         "recover",
@@ -233,7 +245,7 @@ class OptimizationThread:
                 if after_cpi == 0.0:
                     # empty window: no retired instructions, no signal —
                     # neither a pass nor a regression
-                    self.events.append(
+                    self._log(
                         OptEvent(
                             retired,
                             "skip",
@@ -245,7 +257,7 @@ class OptimizationThread:
                 elif before_cpi > 0 and after_cpi > before_cpi * 1.03:
                     self.trace_cache.rollback(self.program, deployment)
                     self.blacklist.add(deployment.loop.head)
-                    self.events.append(
+                    self._log(
                         OptEvent(
                             retired,
                             "rollback",
@@ -277,7 +289,7 @@ class OptimizationThread:
                 if not deployment.active:
                     continue
                 self.trace_cache.rollback(self.program, deployment)
-                self.events.append(
+                self._log(
                     OptEvent(
                         retired,
                         "rollback",
@@ -291,6 +303,7 @@ class OptimizationThread:
             # keep the evaluation window open (no reset, no decay) so
             # the after-CPI stays phase-averaged; no new deployment
             # while one is under evaluation (attribution)
+            self._persist_wake()
             return
 
         if self.mode == "normal":
@@ -298,6 +311,7 @@ class OptimizationThread:
 
         self._window = _Window(self.machine.total_cycles(), self.machine.total_retired())
         self.profiler.new_window()
+        self._persist_wake()
 
     def _deploy_one(self, retired: int, ratio: float) -> None:
         """Select one hot loop and deploy a rewritten trace for it."""
@@ -308,12 +322,12 @@ class OptimizationThread:
                 continue
             decision: Decision = decide(trace, self.strategy, self.config, ratio)
             if decision.optimization is None:
-                self.events.append(
+                self._log(
                     OptEvent(retired, "skip", trace.head, None, decision.reason)
                 )
                 continue
             if not warm:
-                self.events.append(
+                self._log(
                     OptEvent(retired, "skip", trace.head, decision.optimization,
                              "profile not warm yet")
                 )
@@ -324,7 +338,7 @@ class OptimizationThread:
                 # .excl only on prefetches feeding stored streams (§4)
                 selection = associate_stored_streams(self.program, trace)
                 if selection is not None and not selection:
-                    self.events.append(
+                    self._log(
                         OptEvent(retired, "skip", trace.head, "excl",
                                  "no store-associated prefetch in loop")
                     )
@@ -337,19 +351,112 @@ class OptimizationThread:
                     self.program, trace, rewrite, decision.optimization
                 )
             except TraceCacheError as exc:
-                self.events.append(
+                self._log(
                     OptEvent(retired, "skip", trace.head, decision.optimization, str(exc))
                 )
                 if self.faults is not None:
                     self._strike(retired, f"deployment failed: {exc}")
                 continue
-            self.events.append(
+            self._log(
                 OptEvent(
                     retired, "deploy", trace.head, decision.optimization, decision.reason
                 )
             )
             self._pending_eval = (deployment, before_cpi, 2)
             break  # one deployment per wake-up
+
+    # -- persistence (repro.persist) -----------------------------------------------
+
+    def _persist_wake(self) -> None:
+        """Journal the full control-plane state at the end of a wake."""
+        if self.persist is not None:
+            self.persist.log_window(self.export_state())
+
+    def export_state(self) -> dict:
+        """JSON-serializable control-plane state (one 'window' record)."""
+        return {
+            "profiler": self.profiler.export_state(),
+            "cpi_history": list(self._cpi_history),
+            "blacklist": sorted(self.blacklist),
+            "mode": self.mode,
+            "fault_strikes": self.fault_strikes,
+            "events": [
+                [e.retired, e.kind, e.loop_head, e.optimization, e.reason]
+                for e in self.events
+            ],
+            "deployments": [
+                {
+                    "head": d.loop.head,
+                    "back_branch": d.loop.back_branch,
+                    "hotness": d.loop.hotness,
+                    "optimization": d.optimization,
+                    "n_rewrites": d.n_rewrites,
+                }
+                for d in self.trace_cache.deployments
+                if d.active
+            ],
+            "samples_per_cpu": {
+                str(m.core.cpu_id): m.prior_samples + m.samples_taken
+                for m in self.monitors
+            },
+        }
+
+    def warm_start(self, state: dict) -> None:
+        """Resume from a recovered control-plane state (re-adaptation).
+
+        Restores the profile aggregates' companions (CPI history,
+        blacklist, mode, event history) and immediately re-deploys the
+        previously proven optimizations — no cold profiling ramp.  The
+        redeployments stay subject to the normal policy: no pending
+        evaluation is armed (the restart transient would compare a warm
+        before-CPI against cold-start windows and revert a good trace),
+        but the phase-change coherent-ratio scan and the regression
+        check on *future* deployments apply unchanged.
+        """
+        self._cpi_history = [float(x) for x in state.get("cpi_history", [])][-4:]
+        self.blacklist = {int(h) for h in state.get("blacklist", [])}
+        self.mode = str(state.get("mode", "normal"))
+        self.fault_strikes = int(state.get("fault_strikes", 0))
+        self.events = [
+            OptEvent(int(e[0]), str(e[1]), e[2], e[3], str(e[4]))
+            for e in state.get("events", [])
+        ]
+        # the restored quarantine total predates this session: without
+        # re-basing, the first watchdog pass would read the whole prior
+        # history as one surge and strike immediately
+        self._quarantine_seen = self.profiler.quarantined_total
+        if self.mode != "normal":
+            return  # a degraded session resumes degraded: never re-patch
+        for dep in state.get("deployments", []):
+            head = int(dep["head"])
+            if head in self.blacklist or head not in self.program.bundles:
+                continue
+            trace = LoopTrace(
+                head=head,
+                back_branch=int(dep["back_branch"]),
+                hotness=int(dep["hotness"]),
+            )
+            trace.lfetch_sites = _scan_lfetch(self.program, head, trace.end_bundle)
+            optimization = str(dep["optimization"])
+            if optimization == "noprefetch":
+                rewrite = make_noprefetch_rewrite()
+            else:
+                selection = associate_stored_streams(self.program, trace)
+                if selection is not None and not selection:
+                    continue
+                rewrite = make_excl_rewrite(selection)
+            try:
+                self.trace_cache.deploy(self.program, trace, rewrite, optimization)
+            except TraceCacheError as exc:
+                self._log(
+                    OptEvent(0, "skip", head, optimization,
+                             f"warm redeploy failed: {exc}")
+                )
+                continue
+            self._log(
+                OptEvent(0, "deploy", head, optimization,
+                         "warm restart: re-deployed from checkpoint")
+            )
 
     # -- reporting ----------------------------------------------------------------
 

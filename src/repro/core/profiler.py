@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 from ..config import CobraConfig
 from ..hpm.counters import COUNTER_MASK
 from ..hpm.sample import Sample
-from .filters import MissProfile
+from .filters import MissProfile, MissStats
 from .monitor import MonitoringThread
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -134,6 +134,70 @@ class SystemProfiler:
         ]
         loops.sort(key=lambda item: item[1], reverse=True)
         return loops
+
+    # -- persistence (repro.persist) -------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-serializable snapshot of the aggregate profile.
+
+        Only aggregates are exported.  The per-perfmon-session ordering
+        state (``_last_meta``/``_last_counters``) is deliberately left
+        out: sample indices and PMD snapshots restart with each process,
+        so that state is meaningless across a restart.
+        """
+        return {
+            "misses": {
+                "by_pc": {
+                    str(pc): {
+                        "samples": s.samples,
+                        "coherent": s.coherent,
+                        "total_latency": s.total_latency,
+                        "lines": sorted(s.lines),
+                        "threads": sorted(s.threads),
+                    }
+                    for pc, s in sorted(self.misses.by_pc.items())
+                },
+                "total_events": self.misses.total_events,
+                "total_coherent": self.misses.total_coherent,
+            },
+            "btb": [[b, t, c] for (b, t), c in sorted(self.btb_pairs.items())],
+            "samples_seen": self.samples_seen,
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "quarantined_total": self.quarantined_total,
+            "bus_delta": self._bus_delta,
+            "coherent_delta": self._coherent_delta,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Warm-restart the aggregates from :meth:`export_state` output.
+
+        The ordering/delta state stays reset: restoring last-seen sample
+        indices would quarantine every fresh sample of the new session
+        as ``stale-index``, and a stale counter snapshot would turn the
+        first delta into wraparound garbage.
+        """
+        misses = state.get("misses", {})
+        self.misses.by_pc = {}
+        for pc_str, s in misses.get("by_pc", {}).items():
+            pc = int(pc_str)
+            self.misses.by_pc[pc] = MissStats(
+                pc=pc,
+                samples=int(s["samples"]),
+                coherent=int(s["coherent"]),
+                total_latency=int(s["total_latency"]),
+                lines=set(s.get("lines", [])),
+                threads=set(s.get("threads", [])),
+            )
+        self.misses.total_events = int(misses.get("total_events", 0))
+        self.misses.total_coherent = int(misses.get("total_coherent", 0))
+        self.btb_pairs = {(int(b), int(t)): int(c) for b, t, c in state.get("btb", [])}
+        self.samples_seen = int(state.get("samples_seen", 0))
+        self.quarantined = {k: int(v) for k, v in state.get("quarantined", {}).items()}
+        self.quarantined_total = int(state.get("quarantined_total", 0))
+        self._bus_delta = state.get("bus_delta", 0)
+        self._coherent_delta = state.get("coherent_delta", 0)
+        self._last_counters = {}
+        self._last_meta = {}
 
     def new_window(self, decay: float = 0.5) -> None:
         """Age profiles between optimizer wake-ups (re-adaptation)."""

@@ -82,6 +82,12 @@ class TraceCache:
         #: recorded transactional recoveries and idempotent no-ops, in
         #: order; surfaced on the COBRA report
         self.recovery_log: list[str] = []
+        #: bundles reclaimed by transactional aborts (image.truncate);
+        #: surfaced on the COBRA report
+        self.reclaimed_bundles = 0
+        #: persistence manager (:mod:`repro.persist`); wired by the
+        #: framework after construction, ``None`` = no journaling
+        self.persist = None
 
     @property
     def used_bundles(self) -> int:
@@ -169,7 +175,7 @@ class TraceCache:
         if program.version != snapshot_version:
             # redirecting now would publish a trace copied from a stale
             # image: abort, reclaim the trace, keep the original live
-            self.image.truncate(entry)
+            self.reclaimed_bundles += self.image.truncate(entry)
             if fault is not None:
                 self.faults.detected(
                     fault, f"stale trace for loop {loop.head:#x} discarded"
@@ -200,7 +206,7 @@ class TraceCache:
         observed = program.fetch_bundle(loop.head)
         if observed != redirect or head_patch.new != observed:
             program.revert_patch(head_patch)
-            self.image.truncate(entry)
+            self.reclaimed_bundles += self.image.truncate(entry)
             if fault is not None and fault.kind == "torn_patch":
                 self.faults.detected(
                     fault, f"torn redirect at {loop.head:#x} reverted"
@@ -214,6 +220,13 @@ class TraceCache:
 
         deployment = Deployment(loop, entry, optimization, head_patch, n_rewrites)
         self.deployments.append(deployment)
+        if self.persist is not None:
+            # journaled only after the verify-after-write passed: the
+            # WAL records committed transactions, not attempts
+            self.persist.log_txn(
+                "deploy", loop.head, loop.back_branch, loop.hotness,
+                optimization, n_rewrites,
+            )
         return deployment
 
     @staticmethod
@@ -244,4 +257,10 @@ class TraceCache:
             return False
         program.revert_patch(deployment.head_patch)
         deployment.active = False
+        if self.persist is not None:
+            self.persist.log_txn(
+                "rollback", deployment.loop.head, deployment.loop.back_branch,
+                deployment.loop.hotness, deployment.optimization,
+                deployment.n_rewrites,
+            )
         return True

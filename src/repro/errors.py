@@ -97,6 +97,27 @@ class FaultError(ReproError):
     """
 
 
+class PersistError(ReproError):
+    """Raised on invalid use of the persistence subsystem itself.
+
+    Never raised *because* a checkpoint is damaged — recovery falls
+    back past corrupt snapshots and truncated journal tails, accounting
+    them in stats; this error flags a malformed store layout or API
+    misuse (e.g. appending to a journal after recovery repair failed).
+    """
+
+
+class SimulatedCrash(ReproError):
+    """The fault injector killed the run at a persistence boundary.
+
+    Models ``kill -9`` at a journal/snapshot write: the process dies,
+    volatile state is gone, and only bytes the injectable disk had made
+    durable (possibly including a torn final record) survive.  The
+    recovery-equivalence harness catches this, then proves a resumed
+    run is indistinguishable from one that was never interrupted.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised on invalid workload parameters."""
 

@@ -27,6 +27,7 @@ from .injector import (
     ALL_FAULTS,
     LOOP_FAULTS,
     PATCH_FAULTS,
+    PERSIST_FAULTS,
     SAMPLE_FAULTS,
     TOLERATED_AT_INJECTION,
     FaultEvent,
@@ -39,6 +40,7 @@ __all__ = [
     "CHAOS_STRATEGIES",
     "LOOP_FAULTS",
     "PATCH_FAULTS",
+    "PERSIST_FAULTS",
     "SAMPLE_FAULTS",
     "TOLERATED_AT_INJECTION",
     "FaultEvent",

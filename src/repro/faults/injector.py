@@ -51,6 +51,7 @@ __all__ = [
     "SAMPLE_FAULTS",
     "PATCH_FAULTS",
     "LOOP_FAULTS",
+    "PERSIST_FAULTS",
     "ALL_FAULTS",
     "TOLERATED_AT_INJECTION",
     "FaultEvent",
@@ -67,7 +68,19 @@ SAMPLE_FAULTS = (
 )
 PATCH_FAULTS = ("torn_patch", "stale_image", "cache_exhaustion")
 LOOP_FAULTS = ("missed_wakeup", "monitor_death")
-ALL_FAULTS = SAMPLE_FAULTS + PATCH_FAULTS + LOOP_FAULTS
+#: Persistence-surface faults.  Never drawn from the random schedule:
+#: the crash gate is a deterministic kill point
+#: (``FaultConfig.crash_write``), and the damage kinds are *observed*
+#: by recovery when it meets the wreckage on disk (torn journal tail,
+#: corrupt snapshot, stray temp) — see :meth:`FaultInjector.observe`.
+PERSIST_FAULTS = (
+    "crash_point",
+    "torn_journal_record",
+    "corrupt_journal_record",
+    "corrupt_snapshot",
+    "stray_snapshot_tmp",
+)
+ALL_FAULTS = SAMPLE_FAULTS + PATCH_FAULTS + LOOP_FAULTS + PERSIST_FAULTS
 
 #: Faults that cannot hurt correctness no matter what the runtime does:
 #: a dropped/duplicated/late sample or an overflowed USB only shrinks,
@@ -91,7 +104,7 @@ class FaultEvent:
 
     seq: int
     kind: str
-    surface: str            # "sample" | "patch" | "loop"
+    surface: str            # "sample" | "patch" | "loop" | "persist"
     status: str             # "injected" -> "detected" | "tolerated"
     note: str = ""
 
@@ -152,6 +165,9 @@ class FaultInjector:
         # corrupted samples in flight, by object identity: id -> (event,
         # sample).  The sample ref keeps the id stable until classified.
         self._sample_watch: dict[int, tuple[FaultEvent, object]] = {}
+        #: durable persistence writes gated so far (journal appends +
+        #: snapshot renames); the crash sweep indexes kill points by it
+        self.durable_writes = 0
 
     # -- schedule draws (one per opportunity, in simulation order) ---------
 
@@ -232,6 +248,34 @@ class FaultInjector:
             entry = self._sample_watch.pop(id(sample), None)
             if entry is not None and entry[0].status == _INJECTED:
                 self.tolerated(entry[0], "sample destroyed before ingestion")
+
+    def crash_gate(self) -> tuple[bool, int | None]:
+        """One call per durable persistence write: die here?
+
+        Returns ``(crash_now, torn_bytes)``.  Deliberately consumes no
+        randomness — the kill point is an exact write index
+        (``FaultConfig.crash_write``), so a crashed run's journal bytes
+        are a byte-prefix of the same seed's uninterrupted run (the
+        recovery-equivalence harness asserts exactly that).
+        """
+        if self.config.crash_write is None:
+            return False, None
+        self.durable_writes += 1
+        if self.durable_writes != self.config.crash_write:
+            return False, None
+        return True, self.config.crash_torn_bytes
+
+    def observe(self, kind: str, surface: str, note: str = "") -> FaultEvent:
+        """Record damage met on disk as an already-detected event.
+
+        Recovery uses this for wreckage whose injection happened in a
+        *previous* (crashed) process — a torn journal tail, a corrupt
+        snapshot, a stray temp.  The originating event died with that
+        process, so the finding and the detection are the same moment.
+        """
+        event = FaultEvent(len(self.events), kind, surface, _DETECTED, note)
+        self.events.append(event)
+        return event
 
     def choice(self, n: int) -> int:
         """Deterministic victim selection (e.g. which monitor dies)."""

@@ -1,0 +1,52 @@
+"""Crash-consistent durability for the COBRA control plane.
+
+A write-ahead journal (append-only, per-record CRC, fsync'd through an
+injectable disk) plus periodic checksummed snapshots give every COBRA
+run a recoverable record of its profiles, deployments, and decisions.
+Recovery loads the newest valid snapshot, replays the journal tail,
+and a warm-restarted run re-deploys its proven optimizations without
+the cold profiling ramp — see DESIGN.md for the on-disk format and the
+recovery-equivalence guarantee.
+"""
+
+from .journal import (
+    JOURNAL_NAME,
+    RECORD_MAGIC,
+    Disk,
+    FileDisk,
+    JournalWriter,
+    MemoryDisk,
+    encode_record,
+    scan_journal,
+)
+from .manager import PersistenceManager, PersistStats
+from .recover import RecoveredState, empty_state, recover, repair
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_MAGIC,
+    SnapshotStore,
+    decode_snapshot,
+    encode_snapshot,
+)
+
+__all__ = [
+    "JOURNAL_NAME",
+    "RECORD_MAGIC",
+    "Disk",
+    "FileDisk",
+    "MemoryDisk",
+    "JournalWriter",
+    "encode_record",
+    "scan_journal",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_MAGIC",
+    "SnapshotStore",
+    "encode_snapshot",
+    "decode_snapshot",
+    "RecoveredState",
+    "empty_state",
+    "recover",
+    "repair",
+    "PersistenceManager",
+    "PersistStats",
+]

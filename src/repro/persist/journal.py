@@ -1,0 +1,324 @@
+"""Write-ahead journal over an injectable disk.
+
+The journal is the durability backbone of ``repro.persist``: an
+append-only stream of length-prefixed, CRC-guarded records, fsync'd
+record-by-record.  Three record types flow through it during a COBRA
+run (profiler window merges, trace-cache deploy/rollback transactions,
+optimizer decisions) plus a session ``meta`` record; recovery replays
+the longest valid prefix and accounts every torn or corrupt byte after
+it.
+
+Record wire format (little-endian)::
+
+    magic:u16  flags:u16  payload_len:u32  crc32:u32  payload bytes
+
+``crc32`` covers the first 8 header bytes *and* the payload, so a
+single flipped bit anywhere in a record — magic, flags, length, or
+body — breaks the checksum (the classic WAL torn-write guard; cf.
+perf-tools' durable counter records).  Payloads are canonical JSON
+(sorted keys, no whitespace), which keeps encoding deterministic and
+the format forward-compatible: readers ignore keys they do not know.
+
+Durability is mediated by a :class:`Disk` so tests stay deterministic:
+:class:`MemoryDisk` models a kernel page cache that can die mid-write
+(crash injection leaves a torn prefix), :class:`FileDisk` is the real
+fsync/rename-backed store for ``--checkpoint-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+from ..errors import PersistError
+
+__all__ = [
+    "Disk",
+    "MemoryDisk",
+    "FileDisk",
+    "JournalWriter",
+    "JOURNAL_NAME",
+    "RECORD_MAGIC",
+    "encode_record",
+    "scan_journal",
+]
+
+#: Journal file name inside a checkpoint directory / disk namespace.
+JOURNAL_NAME = "journal.wal"
+
+#: First header field of every journal record.
+RECORD_MAGIC = 0xC0BA
+
+_HEAD = struct.Struct("<HHI")     # magic, flags, payload_len
+_CRC = struct.Struct("<I")
+HEADER_BYTES = _HEAD.size + _CRC.size
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def encode_record(payload: dict) -> bytes:
+    """One framed journal record for ``payload`` (canonical JSON)."""
+    body = _canonical(payload)
+    head = _HEAD.pack(RECORD_MAGIC, 0, len(body))
+    crc = zlib.crc32(head + body) & 0xFFFFFFFF
+    return head + _CRC.pack(crc) + body
+
+
+def scan_journal(data: bytes) -> tuple[list[dict], int, list[str]]:
+    """Decode the longest valid record prefix of ``data``.
+
+    Returns ``(records, valid_len, discarded)``: the decoded payloads,
+    the byte length of the valid prefix (the journal repair point), and
+    one human-readable note per discarded region.  Scanning stops at
+    the first bad record — in an append-only journal everything after a
+    corruption is unordered noise, never silently decoded.
+    """
+    records: list[dict] = []
+    discarded: list[str] = []
+    offset = 0
+    n = len(data)
+    while offset < n:
+        remaining = n - offset
+        if remaining < HEADER_BYTES:
+            discarded.append(f"torn header at offset {offset} ({remaining} byte(s))")
+            break
+        magic, flags, length = _HEAD.unpack_from(data, offset)
+        if magic != RECORD_MAGIC:
+            discarded.append(f"bad magic {magic:#06x} at offset {offset}")
+            break
+        (crc,) = _CRC.unpack_from(data, offset + _HEAD.size)
+        body_start = offset + HEADER_BYTES
+        if length > n - body_start:
+            discarded.append(
+                f"torn record at offset {offset}: {length} byte payload, "
+                f"{n - body_start} on disk"
+            )
+            break
+        body = data[body_start : body_start + length]
+        want = zlib.crc32(data[offset : offset + _HEAD.size] + body) & 0xFFFFFFFF
+        if crc != want:
+            discarded.append(f"crc mismatch at offset {offset}")
+            break
+        try:
+            payload = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # a crc collision would be required to reach this; account
+            # it the same way rather than trusting the bytes
+            discarded.append(f"undecodable payload at offset {offset}")
+            break
+        if not isinstance(payload, dict):
+            discarded.append(f"non-record payload at offset {offset}")
+            break
+        records.append(payload)
+        offset = body_start + length
+    return records, offset, discarded
+
+
+# -- disks --------------------------------------------------------------------
+
+
+class Disk:
+    """Durable byte store interface (the injectable 'disk').
+
+    Contract: :meth:`append` and :meth:`write_atomic` are durable when
+    they return (append implies fsync; write_atomic implies
+    write-temp + fsync + atomic rename).  :meth:`write` is a plain
+    non-atomic create/overwrite — the crash injector uses it to leave
+    torn temporaries behind, exactly like a real snapshot writer dying
+    before its rename.
+    """
+
+    def append(self, name: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def write(self, name: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def read(self, name: str) -> bytes:
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def listdir(self) -> list[str]:
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        raise NotImplementedError
+
+    def truncate(self, name: str, length: int) -> None:
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """The owning process died: ignore every later write.
+
+        Host-side cleanup code keeps running after a simulated crash
+        (``finally`` blocks); a dead process cannot reach the disk, so
+        post-crash writes must not land.
+        """
+        raise NotImplementedError
+
+
+class MemoryDisk(Disk):
+    """Deterministic in-memory disk for tests and the crash sweeps."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, bytearray] = {}
+        self.dead = False
+        #: durable operations performed (appends + atomic writes); the
+        #: crash sweep enumerates its kill points over this count
+        self.durable_ops = 0
+
+    def append(self, name: str, data: bytes) -> None:
+        if self.dead:
+            return
+        self.files.setdefault(name, bytearray()).extend(data)
+        self.durable_ops += 1
+
+    def write(self, name: str, data: bytes) -> None:
+        if self.dead:
+            return
+        self.files[name] = bytearray(data)
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        if self.dead:
+            return
+        self.files[name] = bytearray(data)
+        self.durable_ops += 1
+
+    def read(self, name: str) -> bytes:
+        try:
+            return bytes(self.files[name])
+        except KeyError:
+            raise PersistError(f"no such file {name!r} on disk") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self.files
+
+    def listdir(self) -> list[str]:
+        return sorted(self.files)
+
+    def delete(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    def truncate(self, name: str, length: int) -> None:
+        if self.dead:
+            return
+        if name in self.files:
+            del self.files[name][length:]
+
+    def kill(self) -> None:
+        self.dead = True
+
+    def clone(self) -> "MemoryDisk":
+        """Independent copy (the recovery harness resumes from copies)."""
+        disk = MemoryDisk()
+        disk.files = {name: bytearray(data) for name, data in self.files.items()}
+        disk.durable_ops = self.durable_ops
+        return disk
+
+
+class FileDisk(Disk):
+    """Checkpoint directory on the real filesystem (``--checkpoint-dir``)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.dead = False
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def append(self, name: str, data: bytes) -> None:
+        if self.dead:
+            return
+        with open(self._path(name), "ab") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def write(self, name: str, data: bytes) -> None:
+        if self.dead:
+            return
+        with open(self._path(name), "wb") as fh:
+            fh.write(data)
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        if self.dead:
+            return
+        tmp = self._path(name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._path(name))
+
+    def read(self, name: str) -> bytes:
+        try:
+            with open(self._path(name), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise PersistError(f"no such file {name!r} on disk") from None
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def listdir(self) -> list[str]:
+        return sorted(os.listdir(self.root))
+
+    def delete(self, name: str) -> None:
+        try:
+            os.unlink(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def truncate(self, name: str, length: int) -> None:
+        if self.dead:
+            return
+        if self.exists(name):
+            os.truncate(self._path(name), length)
+
+    def kill(self) -> None:
+        self.dead = True
+
+
+class JournalWriter:
+    """Appends sequenced records to the journal, one fsync per record.
+
+    ``gate`` (if given) is called with ``(name, encoded_bytes, "append")``
+    before each durable write — the crash-injection hook.
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        next_seq: int = 0,
+        name: str = JOURNAL_NAME,
+        gate=None,
+    ) -> None:
+        self.disk = disk
+        self.name = name
+        self.next_seq = next_seq
+        self.records_written = 0
+        self.gate = gate
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Frame and durably append one record; return its sequence."""
+        seq = self.next_seq
+        record = dict(payload)
+        record["t"] = kind
+        record["seq"] = seq
+        data = encode_record(record)
+        if self.gate is not None:
+            self.gate(self.name, data, "append")
+        self.disk.append(self.name, data)
+        self.next_seq = seq + 1
+        self.records_written += 1
+        return seq

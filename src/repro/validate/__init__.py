@@ -21,6 +21,13 @@ fault injector plus a :class:`~repro.faults.chaos.ChaosHarness` that
 reuses this package's workload specs and digests to prove outputs stay
 bit-identical under injected sampling, patching, and control-loop
 faults (``python -m repro chaos``).
+
+A fifth layer, :mod:`~repro.validate.recovery`, closes the loop with
+:mod:`repro.persist`: a :class:`RecoveryHarness` that kills the run at
+every durable checkpoint write (including mid-write tears), restarts it
+from the surviving store, and requires outputs bit-identical to an
+uninterrupted run with every discarded artifact accounted on the fault
+ledger (``python -m repro recovery``).
 """
 
 from .checker import VALIDATE_MODES, AccessEvent, CoherenceChecker, EvictEvent
@@ -41,6 +48,12 @@ from .isa_check import (
     encode_image,
     encode_instruction,
 )
+from .recovery import (
+    RecoveryHarness,
+    RecoveryRecord,
+    RecoveryReport,
+    zero_rate_faults,
+)
 
 __all__ = [
     "VALIDATE_MODES",
@@ -60,4 +73,8 @@ __all__ = [
     "check_roundtrip",
     "encode_image",
     "encode_instruction",
+    "RecoveryHarness",
+    "RecoveryRecord",
+    "RecoveryReport",
+    "zero_rate_faults",
 ]

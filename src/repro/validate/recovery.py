@@ -1,0 +1,356 @@
+"""Recovery-equivalence harness: crash anywhere, recover everywhere.
+
+Mirrors :class:`repro.faults.chaos.ChaosHarness`, but instead of
+sweeping random fault schedules it sweeps *crash points*: the process
+is killed at every Nth durable persistence write (journal append or
+snapshot rename), optionally leaving a torn byte-prefix behind, and
+then restarted against the surviving checkpoint store.  The
+crash-consistency invariant it enforces, for every cell of the
+(machine x crash-point x tear-mode) matrix:
+
+* **(A) output equivalence** — the resumed run's committed program
+  outputs are bit-identical to an uninterrupted reference run of the
+  same workload;
+* **(B) prefix durability** — the crashed store's journal is a valid
+  byte-prefix of the reference run's journal, and every snapshot file
+  both stores share is byte-identical (a crash may lose a suffix,
+  never rewrite history);
+* **(C) ledger accounting** — every torn record, corrupt snapshot and
+  stray temp file discarded during recovery appears in the resumed
+  run's fault ledger, and the ledger is fully accounted;
+* **(D) resume determinism** — resuming twice from a byte-identical
+  copy of the crashed store reproduces the same outputs and the same
+  persistence counters (recovery is a pure function of the store).
+
+Each cell runs on a fresh machine with a fresh program build over a
+:class:`~repro.persist.journal.MemoryDisk`, so crash debris cannot leak
+between cells and every failure replays from its (crash_write,
+torn_bytes) coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from ..config import FaultConfig, PersistConfig
+from ..cpu.machine import Machine
+from ..errors import SimulatedCrash
+from ..persist.journal import JOURNAL_NAME, MemoryDisk, scan_journal
+from .differential import WorkloadSpec, _digest, _snapshot_arrays, default_machines
+
+__all__ = [
+    "RecoveryHarness",
+    "RecoveryRecord",
+    "RecoveryReport",
+    "zero_rate_faults",
+]
+
+#: Default torn-write modes: ``None`` kills *before* the write lands
+#: (clean boundary), an integer k leaves a durable k-byte prefix of the
+#: record (torn write) for recovery to detect and discard.
+DEFAULT_TORN_MODES: tuple[int | None, ...] = (None, 7)
+
+
+def zero_rate_faults(seed: int = 0) -> FaultConfig:
+    """An armed injector that never injects.
+
+    Resumed runs need a live :class:`~repro.faults.injector.FaultInjector`
+    so recovery can *account* discarded records on the ledger, but must
+    not draw any random faults of their own — at rate 0.0 the injector
+    consumes no RNG, so the resumed run stays deterministic.
+    """
+    return FaultConfig(seed=seed, sample_rate=0.0, patch_rate=0.0, loop_rate=0.0)
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One crash-and-recover cell of the matrix."""
+
+    machine: str
+    crash_write: int
+    torn_bytes: int | None
+    digest: str
+    replayed: int
+    discarded: int
+    warm_deploys: int
+    accounted: bool
+
+    @property
+    def label(self) -> str:
+        tear = "boundary" if self.torn_bytes is None else f"torn[{self.torn_bytes}B]"
+        return f"{self.machine}/write={self.crash_write}/{tear}"
+
+    def to_json(self) -> dict:
+        return {
+            "machine": self.machine,
+            "crash_write": self.crash_write,
+            "torn_bytes": self.torn_bytes,
+            "digest": self.digest,
+            "replayed": self.replayed,
+            "discarded": self.discarded,
+            "warm_deploys": self.warm_deploys,
+            "accounted": self.accounted,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one crash-recovery sweep."""
+
+    workload: str
+    reference_digests: dict[str, str] = field(default_factory=dict)
+    durable_writes: dict[str, int] = field(default_factory=dict)
+    records: list[RecoveryRecord] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def total_discarded(self) -> int:
+        return sum(r.discarded for r in self.records)
+
+    def total_warm_deploys(self) -> int:
+        return sum(r.warm_deploys for r in self.records)
+
+    def summary(self) -> str:
+        lines = [
+            f"recovery[{self.workload}]: {len(self.records)} crash cell(s), "
+            f"{self.total_discarded()} torn/corrupt artifact(s) discarded, "
+            f"{self.total_warm_deploys()} warm redeploy(s), "
+            f"{'OK' if self.ok else 'FAIL'}"
+        ]
+        for rec in self.records:
+            lines.append(
+                f"  {rec.label:34s} digest={rec.digest[:12]} "
+                f"replayed={rec.replayed} discarded={rec.discarded} "
+                f"warm_deploys={rec.warm_deploys}"
+            )
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "ok": self.ok,
+            "reference_digests": dict(self.reference_digests),
+            "durable_writes": dict(self.durable_writes),
+            "cells": [r.to_json() for r in self.records],
+            "failures": list(self.failures),
+        }
+
+
+class RecoveryHarness:
+    """Sweeps crash points across the machine matrix for one workload."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        machines: Mapping[str, Callable[[], Machine]] | None = None,
+        strategy: str = "noprefetch",
+        stride: int = 1,
+        torn_modes: tuple[int | None, ...] = DEFAULT_TORN_MODES,
+        optimize_interval: int | None = 30_000,
+        resume_twice: bool = True,
+        max_bundles: int | None = None,
+    ) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.workload = workload
+        self.machines = (
+            dict(machines)
+            if machines is not None
+            else default_machines(scale=4)
+        )
+        self.strategy = strategy
+        self.stride = stride
+        self.torn_modes = torn_modes
+        #: shortened wake interval so small sweep workloads actually
+        #: deploy (the default interval outlives them)
+        self.optimize_interval = optimize_interval
+        self.resume_twice = resume_twice
+        self.max_bundles = max_bundles
+
+    # -- single runs ----------------------------------------------------------
+
+    def _run(self, factory: Callable[[], Machine], disk: MemoryDisk,
+             faults: FaultConfig):
+        """One COBRA run persisting to ``disk``; returns (prog, report)."""
+        # deferred: repro.core imports repro.validate at module scope
+        from ..core.framework import run_with_cobra
+
+        machine = factory()
+        prog = self.workload.build(machine)
+        config = machine.config.cobra
+        if self.optimize_interval is not None:
+            config = replace(config, optimize_interval=self.optimize_interval)
+        config = replace(config, persist=PersistConfig(disk=disk), faults=faults)
+        _result, report = run_with_cobra(
+            prog, self.strategy, config=config, max_bundles=self.max_bundles
+        )
+        return prog, report
+
+    def _reference(self, mname: str, factory: Callable[[], Machine]):
+        """Uninterrupted run: digest + journal bytes + snapshots + op count."""
+        disk = MemoryDisk()
+        prog, report = self._run(factory, disk, zero_rate_faults())
+        journal = bytes(disk.files.get(JOURNAL_NAME, b""))
+        snapshots = {
+            name: bytes(data)
+            for name, data in disk.files.items()
+            if name != JOURNAL_NAME
+        }
+        return _digest(_snapshot_arrays(prog)), journal, snapshots, disk.durable_ops, report
+
+    # -- per-cell checks ------------------------------------------------------
+
+    def _check_prefix(
+        self, label: str, disk: MemoryDisk, ref_journal: bytes,
+        ref_snapshots: dict[str, bytes], out: list[str],
+    ) -> None:
+        """(B): the crashed store never disagrees with durable history."""
+        data = bytes(disk.files.get(JOURNAL_NAME, b""))
+        _records, valid_len, _notes = scan_journal(data)
+        if data[:valid_len] != ref_journal[:valid_len]:
+            out.append(
+                f"{label}: crashed journal's valid prefix diverges from the "
+                "uninterrupted run's journal — durable history was rewritten"
+            )
+        for name, payload in disk.files.items():
+            if name == JOURNAL_NAME or name.endswith(".tmp"):
+                continue
+            ref = ref_snapshots.get(name)
+            if ref is not None and bytes(payload) != ref:
+                out.append(
+                    f"{label}: snapshot {name} differs from the "
+                    "uninterrupted run's copy"
+                )
+
+    def _cell(
+        self, mname: str, factory: Callable[[], Machine], crash_write: int,
+        torn: int | None, ref_digest: str, ref_journal: bytes,
+        ref_snapshots: dict[str, bytes],
+    ) -> tuple[RecoveryRecord | None, list[str]]:
+        failures: list[str] = []
+        tear = "boundary" if torn is None else f"torn[{torn}B]"
+        label = f"{mname}/write={crash_write}/{tear}"
+        disk = MemoryDisk()
+        crash_faults = replace(
+            zero_rate_faults(), crash_write=crash_write, crash_torn_bytes=torn
+        )
+        try:
+            self._run(factory, disk, crash_faults)
+            failures.append(
+                f"{label}: crash point was never reached (run completed)"
+            )
+            return None, failures
+        except SimulatedCrash:
+            pass
+        except Exception as exc:  # noqa: BLE001 — the invariant is *zero* escapes
+            failures.append(f"{label}: unhandled {type(exc).__name__}: {exc}")
+            return None, failures
+
+        self._check_prefix(label, disk, ref_journal, ref_snapshots, failures)
+
+        # (D): an identical copy of the crashed store must recover to an
+        # identical run before the original store gets mutated by repair
+        twin = disk.clone() if self.resume_twice else None
+
+        try:
+            prog, report = self._run(factory, disk, zero_rate_faults())
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"{label}: resume raised {type(exc).__name__}: {exc}")
+            return None, failures
+
+        digest = _digest(_snapshot_arrays(prog))
+        stats = report.persist
+        if digest != ref_digest:  # (A)
+            failures.append(
+                f"{label}: resumed output digest {digest[:12]} differs from "
+                f"uninterrupted reference {ref_digest[:12]}"
+            )
+        discarded = (
+            stats.records_discarded + stats.snapshots_discarded + stats.tmp_cleaned
+        )
+        ledger = report.faults
+        if ledger is None or not ledger.accounted:  # (C)
+            failures.append(f"{label}: resumed run's fault ledger unaccounted")
+        else:
+            observed = sum(1 for e in ledger.events if e.surface == "persist")
+            if observed != discarded:
+                failures.append(
+                    f"{label}: {discarded} discarded artifact(s) but {observed} "
+                    "persist event(s) on the ledger"
+                )
+
+        if twin is not None:
+            try:
+                prog2, report2 = self._run(factory, twin, zero_rate_faults())
+            except Exception as exc:  # noqa: BLE001
+                failures.append(
+                    f"{label}: second resume raised {type(exc).__name__}: {exc}"
+                )
+                return None, failures
+            digest2 = _digest(_snapshot_arrays(prog2))
+            stats2 = report2.persist
+            if digest2 != digest:
+                failures.append(
+                    f"{label}: resuming twice from the same store produced "
+                    "different outputs — recovery is nondeterministic"
+                )
+            if (stats2.records_replayed, stats2.records_discarded) != (
+                stats.records_replayed, stats.records_discarded
+            ):
+                failures.append(
+                    f"{label}: resuming twice replayed/discarded different "
+                    "record counts — recovery is nondeterministic"
+                )
+
+        warm_deploys = sum(
+            1
+            for e in report.events
+            if e.kind == "deploy" and e.reason.startswith("warm restart")
+        )
+        record = RecoveryRecord(
+            machine=mname,
+            crash_write=crash_write,
+            torn_bytes=torn,
+            digest=digest,
+            replayed=stats.records_replayed,
+            discarded=discarded,
+            warm_deploys=warm_deploys,
+            accounted=ledger.accounted if ledger is not None else False,
+        )
+        return record, failures
+
+    # -- the sweep ------------------------------------------------------------
+
+    def run(self) -> RecoveryReport:
+        report = RecoveryReport(self.workload.name)
+        any_txn = False
+        for mname, factory in self.machines.items():
+            ref_digest, ref_journal, ref_snapshots, n_ops, ref_report = (
+                self._reference(mname, factory)
+            )
+            report.reference_digests[mname] = ref_digest
+            report.durable_writes[mname] = n_ops
+            if any(d.active for d in ref_report.deployments):
+                any_txn = True
+            for crash_write in range(1, n_ops + 1, self.stride):
+                for torn in self.torn_modes:
+                    record, failures = self._cell(
+                        mname, factory, crash_write, torn,
+                        ref_digest, ref_journal, ref_snapshots,
+                    )
+                    report.failures.extend(failures)
+                    if record is not None:
+                        report.records.append(record)
+        if report.records and not any_txn:
+            report.failures.append(
+                "no reference run deployed anything — the sweep never "
+                "exercised deploy-transaction replay; grow the workload or "
+                "shorten optimize_interval"
+            )
+        return report

@@ -1,0 +1,152 @@
+"""Golden tests for ``CobraReport.summary()``.
+
+The summary is the operator-facing surface of the whole runtime: CI
+logs, chaos sweeps, and the README all quote it.  These tests pin the
+exact rendering of every optional line so a wording drift is a
+conscious decision, not an accident.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import CobraReport
+from repro.core.optimizer import OptEvent
+from repro.faults.injector import FaultEvent, FaultLedger
+from repro.persist import PersistStats
+
+
+def _ledger(**kw):
+    base = dict(seed=7, injected=3, detected=2, tolerated=1,
+                by_kind={"drop_sample": 1, "torn_patch": 2}, events=())
+    base.update(kw)
+    return FaultLedger(**base)
+
+
+class TestSummaryGolden:
+    def test_minimal(self):
+        report = CobraReport(strategy="adaptive", samples=12,
+                             deployments=[], events=[])
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 12 samples, 0 active deployment(s)"
+        )
+
+    def test_rollbacks_line(self):
+        events = [
+            OptEvent(retired=100, kind="deploy", loop_head=0x40,
+                     optimization="noprefetch", reason="hot"),
+            OptEvent(retired=200, kind="rollback", loop_head=0x40,
+                     optimization="noprefetch", reason="regressed"),
+        ]
+        report = CobraReport(strategy="adaptive", samples=5,
+                             deployments=[], events=events)
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 5 samples, 0 active deployment(s)\n"
+            "  1 rollback(s)"
+        )
+
+    def test_degraded_mode_line(self):
+        report = CobraReport(strategy="excl", samples=3, deployments=[],
+                             events=[], mode="monitor-only")
+        assert report.summary() == (
+            "COBRA strategy=excl: 3 samples, 0 active deployment(s)\n"
+            "  degraded mode: monitor-only"
+        )
+
+    def test_quarantine_line_sorts_reasons(self):
+        report = CobraReport(
+            strategy="adaptive", samples=9, deployments=[], events=[],
+            quarantined={"stale-index": 2, "counter-range": 1},
+        )
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 9 samples, 0 active deployment(s)\n"
+            "  quarantined 3 sample(s): counter-range=1, stale-index=2"
+        )
+
+    def test_recovery_log_and_reclaimed_lines(self):
+        report = CobraReport(
+            strategy="adaptive", samples=4, deployments=[], events=[],
+            recovery_log=["torn: redirect at 0x40 reverted from journal",
+                          "rollback-noop: loop 0x40 already inactive"],
+            reclaimed_bundles=6,
+        )
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 4 samples, 0 active deployment(s)\n"
+            "  2 transactional recovery event(s)\n"
+            "  reclaimed 6 trace-cache bundle(s)"
+        )
+
+    def test_validate_line(self):
+        report = CobraReport(strategy="adaptive", samples=2, deployments=[],
+                             events=[], validate_checks=128, violations=[])
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 2 samples, 0 active deployment(s)\n"
+            "  validated 128 accesses, 0 invariant violation(s)"
+        )
+
+    def test_persistence_line_cold_run(self):
+        stats = PersistStats(records_written=14, records_replayed=0,
+                             records_discarded=0, snapshots_written=3,
+                             snapshots_discarded=0, tmp_cleaned=0,
+                             journal_repaired_bytes=0, resumed=False)
+        report = CobraReport(strategy="noprefetch", samples=143,
+                             deployments=[], events=[], persist=stats)
+        assert report.summary() == (
+            "COBRA strategy=noprefetch: 143 samples, 0 active deployment(s)\n"
+            "  persistence: 14 record(s) written, 3 snapshot(s), "
+            "0 discarded-corrupt"
+        )
+
+    def test_persistence_lines_warm_restart(self):
+        stats = PersistStats(records_written=5, records_replayed=6,
+                             records_discarded=1, snapshots_written=2,
+                             snapshots_discarded=1, tmp_cleaned=0,
+                             journal_repaired_bytes=33, resumed=True)
+        report = CobraReport(strategy="noprefetch", samples=287,
+                             deployments=[], events=[], persist=stats,
+                             resumed=True)
+        assert report.summary() == (
+            "COBRA strategy=noprefetch: 287 samples, 0 active deployment(s)\n"
+            "  warm restart: resumed from checkpoint (6 record(s) replayed)\n"
+            "  persistence: 5 record(s) written, 2 snapshot(s), "
+            "2 discarded-corrupt"
+        )
+
+    def test_fault_ledger_line(self):
+        report = CobraReport(strategy="adaptive", samples=7, deployments=[],
+                             events=[], faults=_ledger())
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 7 samples, 0 active deployment(s)\n"
+            "  faults[seed=7]: 3 injected = 2 detected + 1 tolerated "
+            "(drop_sample=1, torn_patch=2)"
+        )
+
+    def test_fault_ledger_flags_unaccounted(self):
+        ledger = _ledger(injected=4, events=(
+            FaultEvent(0, "stale_image", "patch", "injected"),
+        ))
+        report = CobraReport(strategy="adaptive", samples=7, deployments=[],
+                             events=[], faults=ledger)
+        assert "(1 UNACCOUNTED)" in report.summary()
+
+    def test_everything_at_once_orders_lines(self):
+        stats = PersistStats(records_written=2, records_replayed=3,
+                             records_discarded=0, snapshots_written=1,
+                             snapshots_discarded=0, tmp_cleaned=1,
+                             journal_repaired_bytes=0, resumed=True)
+        report = CobraReport(
+            strategy="adaptive", samples=50, deployments=[], events=[],
+            mode="monitor-only", quarantined={"time-travel": 1},
+            recovery_log=["x"], reclaimed_bundles=2, persist=stats,
+            resumed=True, faults=_ledger(),
+        )
+        assert report.summary().splitlines() == [
+            "COBRA strategy=adaptive: 50 samples, 0 active deployment(s)",
+            "  degraded mode: monitor-only",
+            "  quarantined 1 sample(s): time-travel=1",
+            "  1 transactional recovery event(s)",
+            "  reclaimed 2 trace-cache bundle(s)",
+            "  warm restart: resumed from checkpoint (3 record(s) replayed)",
+            "  persistence: 2 record(s) written, 1 snapshot(s), "
+            "0 discarded-corrupt",
+            "  faults[seed=7]: 3 injected = 2 detected + 1 tolerated "
+            "(drop_sample=1, torn_patch=2)",
+        ]

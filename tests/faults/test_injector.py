@@ -8,6 +8,7 @@ from repro.faults import (
     ALL_FAULTS,
     LOOP_FAULTS,
     PATCH_FAULTS,
+    PERSIST_FAULTS,
     SAMPLE_FAULTS,
     TOLERATED_AT_INJECTION,
     FaultInjector,
@@ -121,8 +122,20 @@ class TestLedger:
         assert "UNACCOUNTED" in ledger.summary()
 
     def test_all_fault_kinds_partition_by_surface(self):
-        assert set(ALL_FAULTS) == set(SAMPLE_FAULTS) | set(PATCH_FAULTS) | set(LOOP_FAULTS)
+        assert set(ALL_FAULTS) == (
+            set(SAMPLE_FAULTS) | set(PATCH_FAULTS) | set(LOOP_FAULTS)
+            | set(PERSIST_FAULTS)
+        )
         assert len(ALL_FAULTS) == len(set(ALL_FAULTS))
+
+    def test_persist_faults_are_never_drawn_randomly(self):
+        # the crash gate and recovery-time observation are the only
+        # sources: max-rate schedules must never produce a persist kind
+        inj = FaultInjector(
+            FaultConfig(seed=3, sample_rate=1.0, patch_rate=1.0, loop_rate=1.0)
+        )
+        drawn = {entry[0] for entry in _schedule(inj, n=200) if entry}
+        assert drawn and not (drawn & set(PERSIST_FAULTS))
 
 
 class TestCorruption:
@@ -170,3 +183,65 @@ class TestFaultConfig:
         cfg = FaultConfig()
         with pytest.raises(AttributeError):
             cfg.seed = 3
+
+    def test_seed_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultConfig(seed=-1)
+
+    def test_crash_fields_validated(self):
+        with pytest.raises(ValueError, match="crash_write"):
+            FaultConfig(crash_write=0)
+        with pytest.raises(ValueError, match="crash_torn_bytes"):
+            FaultConfig(crash_torn_bytes=-1)
+        cfg = FaultConfig(crash_write=3, crash_torn_bytes=0)
+        assert cfg.crash_write == 3 and cfg.crash_torn_bytes == 0
+
+
+class TestCrashGate:
+    def test_fires_exactly_once_at_the_nth_write(self):
+        inj = FaultInjector(FaultConfig(crash_write=3, crash_torn_bytes=7))
+        results = [inj.crash_gate() for _ in range(5)]
+        assert results == [
+            (False, None), (False, None), (True, 7), (False, None), (False, None)
+        ]
+        assert inj.durable_writes == 5
+
+    def test_boundary_kill_has_no_torn_bytes(self):
+        inj = FaultInjector(FaultConfig(crash_write=1))
+        assert inj.crash_gate() == (True, None)
+
+    def test_disarmed_gate_never_fires(self):
+        inj = FaultInjector(FaultConfig())
+        assert all(inj.crash_gate() == (False, None) for _ in range(10))
+
+    def test_gate_consumes_no_randomness(self):
+        # the crashed run's schedule must stay a prefix of the
+        # uninterrupted run's: the gate may not advance the PRNG
+        cfg = FaultConfig(seed=11, sample_rate=0.5)
+        plain = FaultInjector(cfg)
+        gated = FaultInjector(FaultConfig(seed=11, sample_rate=0.5, crash_write=99))
+        for _ in range(50):
+            gated.crash_gate()
+        for _ in range(100):
+            a, b = plain.sample_fault(), gated.sample_fault()
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.kind == b.kind
+
+
+class TestObserve:
+    def test_observed_wreckage_is_born_detected(self):
+        inj = FaultInjector(FaultConfig())
+        event = inj.observe("torn_journal_record", "persist", "crc mismatch at 42")
+        assert event.status == "detected"
+        assert event.surface == "persist"
+        ledger = inj.ledger()
+        assert ledger.injected == 1 and ledger.detected == 1
+        assert ledger.accounted
+
+    def test_observed_events_join_the_ledger_in_order(self):
+        inj = FaultInjector(FaultConfig())
+        inj.observe("corrupt_snapshot", "persist", "snap-00000001.ckpt")
+        inj.observe("stray_snapshot_tmp", "persist", "snap-00000002.ckpt.tmp")
+        kinds = [e.kind for e in inj.ledger().events]
+        assert kinds == ["corrupt_snapshot", "stray_snapshot_tmp"]

@@ -1,0 +1,127 @@
+"""Property tests: persistence codecs under arbitrary data and damage.
+
+Two guarantees hypothesis hammers on:
+
+* **round-trip identity** — any JSON-serializable payload survives
+  encode → scan/decode bit-exactly, for both the journal record frame
+  and the snapshot blob;
+* **corruption is always detected** — flipping any single byte at any
+  offset of an encoded artifact can never be silently decoded as a
+  *different* valid artifact: the journal scan yields a prefix of the
+  original records (with a note for the damage), and the snapshot
+  decoder either raises or returns the original payload (a flip in the
+  reserved header field is the one bit-exactness exception the digest
+  intentionally covers — it still raises).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.persist import (
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    scan_journal,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+# JSON-safe scalars: text avoids surrogates (json round-trips them
+# inconsistently across codecs), ints stay in the i64 band like every
+# real payload field
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.text(max_size=20),
+)
+
+_payload = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(
+        _scalar,
+        st.lists(_scalar, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=6), _scalar, max_size=3),
+    ),
+    max_size=6,
+)
+
+
+class TestJournalProperties:
+    @given(payloads=st.lists(_payload, max_size=5))
+    @settings(max_examples=60, **COMMON)
+    def test_encode_scan_identity(self, payloads):
+        data = b"".join(encode_record(p) for p in payloads)
+        records, valid_len, discarded = scan_journal(data)
+        assert records == payloads
+        assert valid_len == len(data)
+        assert discarded == []
+
+    @given(
+        payloads=st.lists(_payload, min_size=1, max_size=3),
+        offset=st.integers(min_value=0),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=120, **COMMON)
+    def test_single_byte_flip_never_silently_decodes(self, payloads, offset, bit):
+        encoded = [encode_record(p) for p in payloads]
+        data = bytearray(b"".join(encoded))
+        offset %= len(data)
+        data[offset] ^= 1 << bit
+        records, valid_len, discarded = scan_journal(bytes(data))
+        # whatever got damaged, everything decoded is an untouched
+        # prefix of the original records...
+        assert records == payloads[: len(records)]
+        # ...and the damage itself is never silently swallowed: either
+        # some record was dropped (with a note), or the flip landed
+        # beyond every decoded frame (impossible here: frames cover the
+        # whole buffer, so a flip inside them must drop a record)
+        assert len(records) < len(payloads)
+        assert discarded
+        assert valid_len <= offset
+
+    @given(payload=_payload, cut=st.integers(min_value=0))
+    @settings(max_examples=60, **COMMON)
+    def test_truncation_is_detected(self, payload, cut):
+        data = encode_record(payload)
+        cut %= len(data)  # strictly shorter than the full record
+        records, valid_len, discarded = scan_journal(data[:cut])
+        assert records == [] and valid_len == 0
+        assert (discarded == []) == (cut == 0)
+
+
+class TestSnapshotProperties:
+    @given(payload=_payload)
+    @settings(max_examples=60, **COMMON)
+    def test_encode_decode_identity(self, payload):
+        assert decode_snapshot(encode_snapshot(payload)) == payload
+
+    @given(
+        payload=_payload,
+        offset=st.integers(min_value=0),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=120, **COMMON)
+    def test_single_byte_flip_always_raises(self, payload, offset, bit):
+        data = bytearray(encode_snapshot(payload))
+        offset %= len(data)
+        data[offset] ^= 1 << bit
+        try:
+            decoded = decode_snapshot(bytes(data))
+        except ValueError:
+            return  # detected — the required outcome
+        raise AssertionError(
+            f"corruption at offset {offset} decoded silently: {decoded!r}"
+        )
+
+    @given(payload=_payload, cut=st.integers(min_value=0))
+    @settings(max_examples=60, **COMMON)
+    def test_truncation_always_raises(self, payload, cut):
+        data = encode_snapshot(payload)
+        cut %= len(data)
+        try:
+            decode_snapshot(data[:cut])
+        except ValueError:
+            return
+        raise AssertionError(f"truncated snapshot ({cut} bytes) decoded silently")

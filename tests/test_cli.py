@@ -121,3 +121,95 @@ class TestStrategyValidation:
         rc = main(["chaos", "--strategies", "bogus"])
         err = capsys.readouterr().err
         assert rc == 2 and "unknown strategy 'bogus'" in err
+
+
+class TestEnvValidation:
+    """Malformed REPRO_* overrides die with one-line errors, exit 2."""
+
+    def test_negative_repro_faults_seed(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "-3")
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "REPRO_FAULTS must be a non-negative integer seed, got '-3'" in err
+
+    def test_non_integer_repro_faults(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "lots")
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "REPRO_FAULTS" in err and "'lots'" in err
+
+    def test_repro_checkpoint_must_be_a_directory(self, capsys, monkeypatch, tmp_path):
+        not_a_dir = tmp_path / "file.txt"
+        not_a_dir.write_text("x")
+        monkeypatch.setenv("REPRO_CHECKPOINT", str(not_a_dir))
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "REPRO_CHECKPOINT must name a checkpoint directory" in err
+
+    def test_valid_env_passes_through(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "0")
+        assert main(["table1"]) == 0
+
+
+class TestCheckpointCli:
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        rc = main([
+            "--scale", "4", "daxpy", "--checkpoint-dir", ckpt,
+            "--strategy", "noprefetch", "--reps", "4",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "persistence:" in out and "verified:        True" in out
+
+        rc = main(["resume", "--checkpoint-dir", ckpt])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warm restart: resumed from checkpoint" in out
+        assert "verified:        True" in out
+
+    def test_checkpoint_requires_cobra_strategy(self, capsys, tmp_path):
+        rc = main([
+            "daxpy", "--checkpoint-dir", str(tmp_path / "c"),
+            "--strategy", "baseline",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--checkpoint-dir requires a COBRA strategy" in err
+
+    def test_resume_missing_directory(self, capsys, tmp_path):
+        rc = main(["resume", "--checkpoint-dir", str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert rc == 2 and "no checkpoint directory" in err
+
+    def test_resume_empty_store(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        rc = main(["resume", "--checkpoint-dir", str(empty)])
+        err = capsys.readouterr().err
+        assert rc == 2 and "no resumable checkpoint" in err
+
+
+class TestRecoveryCli:
+    """Argument validation only — the sweep itself is covered by
+    tests/validate/test_recovery_harness.py (the CLI run takes minutes)."""
+
+    def test_unknown_workload(self, capsys):
+        assert main(["recovery", "--workloads", "nope"]) == 2
+
+    def test_unknown_strategy(self, capsys):
+        rc = main(["recovery", "--strategy", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown strategy 'bogus'" in err
+
+    def test_bad_stride(self, capsys):
+        rc = main(["recovery", "--stride", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--stride must be >= 1" in err
+
+    def test_bad_torn_bytes(self, capsys):
+        rc = main(["recovery", "--torn-bytes", "-1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--torn-bytes must be >= 0" in err

@@ -66,3 +66,32 @@ class TestPresets:
                 name="bad", n_cpus=3, cpus_per_node=2,
                 l2=CacheConfig(16 * 1024), l3=CacheConfig(192 * 1024, associativity=4),
             )
+
+
+class TestPersistConfig:
+    def test_needs_directory_or_disk(self):
+        from repro.config import PersistConfig
+
+        with pytest.raises(ValueError, match="directory or an injectable disk"):
+            PersistConfig()
+
+    def test_directory_alone_is_enough(self):
+        from repro.config import PersistConfig
+
+        cfg = PersistConfig(directory="/tmp/ckpt")
+        assert cfg.resume and cfg.snapshot_interval >= 1
+
+    def test_intervals_validated(self):
+        from repro.config import PersistConfig
+
+        with pytest.raises(ValueError, match="snapshot_interval"):
+            PersistConfig(directory="x", snapshot_interval=0)
+        with pytest.raises(ValueError, match="snapshots_kept"):
+            PersistConfig(directory="x", snapshots_kept=0)
+
+    def test_cobra_config_carries_persist(self):
+        from repro.config import PersistConfig
+
+        cobra = CobraConfig(persist=PersistConfig(directory="x"))
+        assert cobra.persist.directory == "x"
+        assert CobraConfig().persist is None

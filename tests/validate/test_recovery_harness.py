@@ -1,0 +1,90 @@
+"""Recovery-equivalence harness: a bounded sweep must come back clean."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import StreamLoop, Term
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.runtime import ParallelProgram
+from repro.validate import RecoveryHarness, WorkloadSpec, zero_rate_faults
+
+
+def _daxpy(machine: Machine) -> ParallelProgram:
+    prog = ParallelProgram(machine, "rec")
+    prog.array("x", 2048, np.arange(2048, dtype=float))
+    prog.array("y", 2048, 1.0)
+    fn = prog.kernel(
+        StreamLoop("daxpy", dest="y", terms=(Term("y", 1.0, 0), Term("x", 2.0, 0)))
+    )
+    prog.parallel_for(fn, 2048, 4)
+    prog.build(outer_reps=14)
+    return prog
+
+
+SPEC = WorkloadSpec(name="daxpy-recovery", build=_daxpy)
+MACHINES = {"smp4": lambda: Machine(itanium2_smp(4, scale=4))}
+
+
+class TestRecoveryHarness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        harness = RecoveryHarness(
+            SPEC, MACHINES, strategy="noprefetch", stride=7,
+            torn_modes=(None, 7),
+        )
+        return harness.run()
+
+    def test_sweep_is_clean(self, report):
+        assert report.failures == []
+        assert report.ok
+
+    def test_every_crash_point_recovered(self, report):
+        assert report.records
+        n_ops = report.durable_writes["smp4"]
+        assert n_ops > 0
+        expected = len(range(1, n_ops + 1, 7)) * 2
+        assert len(report.records) == expected
+        ref = report.reference_digests["smp4"]
+        assert all(r.digest == ref for r in report.records)
+        assert all(r.accounted for r in report.records)
+
+    def test_torn_cells_discard_and_boundary_cells_do_not(self, report):
+        torn = [r for r in report.records if r.torn_bytes is not None]
+        clean = [r for r in report.records if r.torn_bytes is None]
+        assert torn and all(r.discarded >= 1 for r in torn)
+        assert clean and all(r.discarded == 0 for r in clean)
+
+    def test_sweep_exercised_warm_redeploys(self, report):
+        assert report.total_warm_deploys() > 0
+
+    def test_summary_mentions_the_verdict(self, report):
+        text = report.summary()
+        assert "recovery[daxpy-recovery]:" in text and "OK" in text
+
+    def test_to_json_shape(self, report):
+        doc = report.to_json()
+        assert doc["ok"] is True
+        assert len(doc["cells"]) == len(report.records)
+        assert set(doc["cells"][0]) == {
+            "machine", "crash_write", "torn_bytes", "digest",
+            "replayed", "discarded", "warm_deploys", "accounted",
+        }
+
+
+class TestHarnessValidation:
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError, match="stride"):
+            RecoveryHarness(SPEC, MACHINES, stride=0)
+
+    def test_zero_rate_faults_draw_nothing(self):
+        from repro.faults import FaultInjector
+
+        inj = FaultInjector(zero_rate_faults())
+        for _ in range(50):
+            assert inj.sample_fault() is None
+            assert inj.patch_fault() is None
+            assert inj.loop_fault() is None
+        assert inj.ledger().injected == 0
