@@ -39,13 +39,19 @@ __all__ = [
     "BENCH_STRATEGIES",
     "QUICK_BENCHMARKS",
     "FULL_BENCHMARKS",
+    "REGRESSION_THRESHOLD",
     "run_case",
     "run_bench",
     "format_report",
+    "compare_reports",
 ]
 
 #: Schema tag written into BENCH_perf.json (bump on layout changes).
-BENCH_SCHEMA = "repro-bench-perf/1"
+#: /2 added the per-case ``fastpath`` block (trace-compile counters).
+BENCH_SCHEMA = "repro-bench-perf/2"
+
+#: ``--compare`` fails on wall-clock regressions beyond this fraction.
+REGRESSION_THRESHOLD = 0.15
 
 #: machine name -> (config factory, thread count)
 BENCH_MACHINES = {
@@ -90,6 +96,7 @@ def run_case(
     sample_rows = []
     digest = None
     events = None
+    fastpath = None
     cycles = retired = pmu_samples = 0
     for _ in range(max(1, samples)):
         machine = Machine(factory(BENCH_SCALE))
@@ -105,9 +112,14 @@ def run_case(
         pmu_samples = report.samples if report is not None else 0
         sample_digest = _digest(_snapshot_arrays(prog))
         sample_events = result.events.snapshot()
+        sample_fastpath = fastpath_stats(machine)
         if digest is None:
-            digest, events = sample_digest, sample_events
-        elif (digest, events) != (sample_digest, sample_events):
+            digest, events, fastpath = (
+                sample_digest, sample_events, sample_fastpath
+            )
+        elif (digest, events, fastpath) != (
+            sample_digest, sample_events, sample_fastpath
+        ):
             raise AssertionError(
                 f"non-deterministic run: {benchmark}/{machine_name}/{strategy}"
             )
@@ -130,7 +142,59 @@ def run_case(
         "samples_per_sec": round(pmu_samples / wall_median, 2) if wall_median else 0,
         "digest": digest,
         "events": events,
+        "fastpath": fastpath,
     }
+
+
+def fastpath_stats(machine: Machine) -> dict:
+    """Aggregate trace-compile observability over a machine's cores.
+
+    Everything here is a deterministic function of the simulated run —
+    ``run_case`` asserts it is identical across samples, the same way it
+    does for digests and memory-event counters.
+    """
+    per_core = []
+    totals = {
+        "compiles": 0,
+        "invalidations": 0,
+        "entries": 0,
+        "iterations": 0,
+        "compiled_bundles": 0,
+        "bundles": 0,
+        "decodes": 0,
+    }
+    deopts: dict[str, int] = {}
+    for core in machine.cores:
+        stats = core.trace_jit.stats()
+        bundles = core.bundles_executed
+        decodes = core.decode_cache.decodes
+        per_core.append(
+            {
+                "cpu": core.cpu_id,
+                "compiles": stats["compiles"],
+                "compiled_bundles": stats["compiled_bundles"],
+                "bundles": bundles,
+                "decodes": decodes,
+            }
+        )
+        for key in ("compiles", "invalidations", "entries", "iterations",
+                    "compiled_bundles"):
+            totals[key] += stats[key]
+        totals["bundles"] += bundles
+        totals["decodes"] += decodes
+        for reason, count in stats["deopts"].items():
+            deopts[reason] = deopts.get(reason, 0) + count
+    bundles = totals.pop("bundles")
+    decodes = totals.pop("decodes")
+    totals["coverage_pct"] = (
+        round(100.0 * totals["compiled_bundles"] / bundles, 2) if bundles else 0.0
+    )
+    totals["decode_cache_hit_pct"] = (
+        round(100.0 * (1.0 - decodes / bundles), 2) if bundles else 0.0
+    )
+    totals["deopts"] = {k: deopts[k] for k in sorted(deopts)}
+    totals["per_core"] = per_core
+    return totals
 
 
 def run_bench(
@@ -139,8 +203,17 @@ def run_bench(
     strategies: Iterable[str] | None = None,
     samples: int = 3,
     quick: bool = False,
+    jobs: int = 1,
 ) -> dict:
-    """Run the full matrix; return the BENCH_perf.json document."""
+    """Run the full matrix; return the BENCH_perf.json document.
+
+    ``jobs > 1`` times cases in parallel worker processes.  Digests,
+    counters and fastpath stats stay byte-identical (each case is an
+    isolated fresh machine); wall timings of co-scheduled cases will
+    contend for the host, so commit baselines from ``jobs=1`` runs.
+    """
+    from .parallel import run_tasks
+
     if quick:
         benchmarks = benchmarks or QUICK_BENCHMARKS
         machines = machines or ("smp4",)
@@ -150,12 +223,15 @@ def run_bench(
         machines = machines or tuple(BENCH_MACHINES)
     strategies = strategies or BENCH_STRATEGIES
     t0 = time.perf_counter()
-    cases = [
-        run_case(b, m, s, samples=samples)
-        for m in machines
-        for b in benchmarks
-        for s in strategies
-    ]
+    cases = run_tasks(
+        [
+            (run_case, (b, m, s, samples))
+            for m in machines
+            for b in benchmarks
+            for s in strategies
+        ],
+        jobs=jobs,
+    )
     return {
         "schema": BENCH_SCHEMA,
         "created_unix": int(time.time()),
@@ -176,13 +252,18 @@ def run_bench(
 
 def format_report(report: dict) -> str:
     """Human-readable table of a bench report."""
-    header = f"{'case':<28} {'wall(s)':>9} {'Mcyc/s':>8} {'Minstr/s':>9} {'digest':>10}"
+    header = (
+        f"{'case':<28} {'wall(s)':>9} {'Mcyc/s':>8} {'Minstr/s':>9} "
+        f"{'trace%':>7} {'digest':>10}"
+    )
     lines = [header, "-" * len(header)]
     for case in report["cases"]:
+        fastpath = case.get("fastpath") or {}
         lines.append(
             f"{case['id']:<28} {case['wall_s_median']:>9.3f} "
             f"{case['cycles_per_sec'] / 1e6:>8.2f} "
             f"{case['retired_per_sec'] / 1e6:>9.2f} "
+            f"{fastpath.get('coverage_pct', 0.0):>7.1f} "
             f"{case['digest'][:10]:>10}"
         )
     totals = report["totals"]
@@ -191,3 +272,45 @@ def format_report(report: dict) -> str:
         f"{len(report['cases'])} case(s), {report['samples_per_case']} sample(s) each"
     )
     return "\n".join(lines)
+
+
+def compare_reports(
+    baseline: dict, current: dict, threshold: float = REGRESSION_THRESHOLD
+) -> tuple[list[str], bool]:
+    """Diff ``current`` against a committed ``baseline`` report.
+
+    Returns ``(lines, ok)`` — one line per case shared by both reports.
+    ``ok`` is False on any wall-clock regression beyond ``threshold``
+    (fractional, vs. the baseline median) or any digest change (a digest
+    change is a semantics change, never a perf delta).  Cases present in
+    only one report are noted but don't fail the comparison — the matrix
+    is allowed to grow.
+    """
+    lines: list[str] = []
+    ok = True
+    base_cases = {c["id"]: c for c in baseline.get("cases", [])}
+    cur_cases = {c["id"]: c for c in current.get("cases", [])}
+    for cid in sorted(base_cases):
+        base = base_cases[cid]
+        cur = cur_cases.get(cid)
+        if cur is None:
+            lines.append(f"{cid:<28} MISSING from current report")
+            continue
+        base_wall = base["wall_s_median"]
+        cur_wall = cur["wall_s_median"]
+        ratio = cur_wall / base_wall if base_wall else float("inf")
+        delta_pct = (ratio - 1.0) * 100.0
+        if base["digest"] != cur["digest"]:
+            ok = False
+            verdict = "DIGEST-MISMATCH"
+        elif base_wall and ratio > 1.0 + threshold:
+            ok = False
+            verdict = f"REGRESSION(+{delta_pct:.1f}%)"
+        else:
+            verdict = f"ok({delta_pct:+.1f}%)"
+        lines.append(
+            f"{cid:<28} {base_wall:>8.3f}s -> {cur_wall:>8.3f}s  {verdict}"
+        )
+    for cid in sorted(set(cur_cases) - set(base_cases)):
+        lines.append(f"{cid:<28} new case (not in baseline)")
+    return lines, ok

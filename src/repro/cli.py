@@ -24,7 +24,13 @@ import json
 from dataclasses import replace
 
 from .analysis import format_table1
-from .bench import BENCH_STRATEGIES, FULL_BENCHMARKS, format_report, run_bench
+from .bench import (
+    BENCH_STRATEGIES,
+    FULL_BENCHMARKS,
+    compare_reports,
+    format_report,
+    run_bench,
+)
 from .config import FaultConfig, PersistConfig, itanium2_smp, sgi_altix
 from .core import STRATEGIES, run_with_cobra
 from .faults import CHAOS_STRATEGIES, ChaosHarness
@@ -66,6 +72,14 @@ def _bad_strategy(name: str, valid: tuple[str, ...]) -> int:
         file=sys.stderr,
     )
     return 2
+
+
+def _bad_jobs(jobs: int) -> int | None:
+    """Exit code 2 for a non-positive --jobs, else None."""
+    if jobs < 1:
+        print(f"repro: error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    return None
 
 
 def _machine(args) -> tuple[Machine, int]:
@@ -240,6 +254,9 @@ def _cmd_disasm(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
     strategies = None
     if args.strategies:
         valid = ("none",) + STRATEGIES
@@ -265,7 +282,7 @@ def _cmd_validate(args) -> int:
             if strategies is not None
             else DifferentialHarness(spec, machines, mode=args.mode)
         )
-        report = harness.run()
+        report = harness.run(jobs=args.jobs)
         print(report.summary())
         if not report.ok:
             failures += 1
@@ -288,6 +305,9 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
     strategies = CHAOS_STRATEGIES
     if args.strategies:
         for name in args.strategies:
@@ -318,7 +338,7 @@ def _cmd_chaos(args) -> int:
             spec, machines, strategies=strategies, seeds=seeds,
             fault_config=fault_config,
         )
-        report = harness.run()
+        report = harness.run(jobs=args.jobs)
         print(report.summary())
         if not report.ok:
             failures += 1
@@ -327,6 +347,9 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_recovery(args) -> int:
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
     if args.strategy not in STRATEGIES:
         return _bad_strategy(args.strategy, STRATEGIES)
     if args.stride < 1:
@@ -359,7 +382,7 @@ def _cmd_recovery(args) -> int:
             spec, machines, strategy=args.strategy, stride=args.stride,
             torn_modes=torn_modes,
         )
-        report = harness.run()
+        report = harness.run(jobs=args.jobs)
         print(report.summary())
         ledgers.append(report.to_json())
         if not report.ok:
@@ -374,6 +397,9 @@ def _cmd_recovery(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
     for name in args.strategies or ():
         if name not in BENCH_STRATEGIES:
             return _bad_strategy(name, BENCH_STRATEGIES)
@@ -385,18 +411,38 @@ def _cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    baseline = None
+    if args.compare:
+        if not os.path.isfile(args.compare):
+            print(
+                f"repro: error: no baseline report {args.compare!r}",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.compare, encoding="utf-8") as fh:
+            baseline = json.load(fh)
     report = run_bench(
         benchmarks=args.benchmarks or None,
         machines=args.machines or None,
         strategies=tuple(args.strategies) if args.strategies else None,
         samples=args.samples,
         quick=args.quick,
+        jobs=args.jobs,
     )
     print(format_report(report))
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
+    if baseline is not None:
+        lines, ok = compare_reports(baseline, report, threshold=args.threshold)
+        print(f"compare vs {args.compare} (threshold {args.threshold:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            print("bench compare: FAIL")
+            return 1
+        print("bench compare: OK")
     return 0
 
 
@@ -464,6 +510,11 @@ def _parser() -> argparse.ArgumentParser:
         help="strategy matrix for the differential harness "
         "(default: none + all policies; 'none' is added if omitted)",
     )
+    validate.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan scenario cells over N worker processes "
+        "(reports are byte-identical at any N)",
+    )
     validate.set_defaults(func=_cmd_validate)
 
     chaos = sub.add_parser(
@@ -500,6 +551,11 @@ def _parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--loop-rate", type=float, default=0.2,
         help="per-wake fault probability at the monitor/optimizer surface",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan scenario cells over N worker processes "
+        "(reports are byte-identical at any N)",
     )
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -546,6 +602,11 @@ def _parser() -> argparse.ArgumentParser:
         "--ledger-out", default=None, metavar="PATH",
         help="write the sweep's JSON ledger (cells, digests, failures) here",
     )
+    recovery.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan crash cells over N worker processes "
+        "(reports are byte-identical at any N)",
+    )
     recovery.set_defaults(func=_cmd_recovery)
 
     bench = sub.add_parser(
@@ -574,6 +635,21 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--strategies", nargs="+", default=None, metavar="STRATEGY",
         help="subset of none/noprefetch/excl/adaptive",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="time cases in N worker processes (digests/counters stay "
+        "byte-identical; co-scheduled walls contend, use jobs=1 for "
+        "committed baselines)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="diff against a committed BENCH_perf.json; exit non-zero on "
+        "wall-clock regression beyond --threshold or any digest change",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.15, metavar="FRAC",
+        help="fractional wall-clock regression tolerance for --compare",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -70,6 +70,10 @@ class CobraReport:
     persist: PersistStats | None = None
     #: this run warm-started from a recovered checkpoint
     resumed: bool = False
+    #: interpreter fast-path observability (trace compiles, compiled
+    #: coverage %, deopt reasons, decode-cache hit rate), aggregated
+    #: over the machine's cores at report time
+    fastpath: dict | None = None
 
     def summary(self) -> str:
         lines = [
@@ -118,6 +122,19 @@ class CobraReport:
             )
         if self.faults is not None:
             lines.append(f"  {self.faults.summary()}")
+        if self.fastpath is not None and self.fastpath.get("compiles"):
+            fp = self.fastpath
+            deopts = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(fp.get("deopts", {}).items())
+                if count
+            )
+            lines.append(
+                f"  trace fastpath: {fp['compiles']} compile(s), "
+                f"{fp.get('coverage_pct', 0.0)}% bundles compiled, "
+                f"decode-cache {fp.get('decode_cache_hit_pct', 0.0)}% hit"
+                + (f", deopts: {deopts}" if deopts else "")
+            )
         return "\n".join(lines)
 
 
@@ -248,8 +265,11 @@ class Cobra:
             self.persist.close(self.optimizer.export_state())
 
     def report(self) -> CobraReport:
+        from ..bench import fastpath_stats
+
         profiler = self.optimizer.profiler
         return CobraReport(
+            fastpath=fastpath_stats(self.machine),
             strategy=self.strategy,
             samples=sum(m.prior_samples + m.samples_taken for m in self.monitors),
             deployments=self.optimizer.deployments(),

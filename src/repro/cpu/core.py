@@ -44,6 +44,7 @@ PMU hooks kept directly on the core for speed:
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from ..errors import RegisterError, SimulationFault
@@ -63,8 +64,14 @@ from ..memory.hierarchy import (
     STORE,
     CpuCacheSystem,
 )
+from .tracejit import EXIT_SAMPLE, TraceJit
 
 __all__ = ["Core"]
+
+#: Trace compilation on by default; ``REPRO_TRACE_JIT=0`` forces every
+#: bundle through the generic interpreter (the differential harness uses
+#: this to prove the two paths bit-identical).
+_JIT_DEFAULT = os.environ.get("REPRO_TRACE_JIT", "1") != "0"
 
 # opcode constants hoisted for dispatch speed
 _NOP = int(Op.NOP)
@@ -151,6 +158,8 @@ class Core:
         "bundles_per_cycle",
         "_issue_tick",
         "_dcache",
+        "_tjit",
+        "jit_enabled",
     )
 
     def __init__(
@@ -183,6 +192,8 @@ class Core:
         # accounted per bundle pair (memory stalls are charged in full)
         self.bundles_per_cycle = bundles_per_cycle
         self._issue_tick = 0
+        self._tjit = TraceJit()
+        self.jit_enabled = _JIT_DEFAULT
 
     # -- program control -----------------------------------------------------
 
@@ -195,6 +206,11 @@ class Core:
     def decode_cache(self) -> DecodeCache:
         """This core's decoded-bundle cache (exposed for audits/tests)."""
         return self._dcache
+
+    @property
+    def trace_jit(self) -> TraceJit:
+        """This core's trace-compilation registry (audits/observability)."""
+        return self._tjit
 
     def start(self, entry: int) -> None:
         """Point the core at ``entry`` and mark it runnable."""
@@ -244,7 +260,24 @@ class Core:
             return 0
         if cycle_limit is None:
             cycle_limit = 1 << 62
-        dmap_get = self._dcache.sync().get
+        dcache = self._dcache
+        dmap = dcache.sync()
+        dmap_get = dmap.get
+        # Trace dispatch state.  sync() revalidates compiled traces
+        # against the decode journal at the same once-per-slice cadence
+        # the decoded map itself refreshes, so a patched bundle can
+        # never execute through a stale trace (COBRA patches between
+        # scheduler slices; within a slice both views are equally live).
+        tjit = self._tjit if self.jit_enabled else None
+        if tjit is not None:
+            traces = tjit.sync(dcache)
+            trace_get = traces.get
+            hot = tjit.hot
+            hot_get = hot.get
+            jit_threshold = tjit.threshold
+        else:
+            trace_get = None
+            hot = None
         regs = self.regs
         grl = regs.gr
         frl = regs.fr
@@ -308,6 +341,69 @@ class Core:
 
         try:
             while executed < max_bundles and cycles <= cycle_limit:
+                if trace_get is not None and fast_mem:
+                    tr = trace_get(pc)
+                    if tr is not None and tr.sor == sor:
+                        before = bundles_executed
+                        (
+                            pc, lc, ec, rrb_gr, rrb_fr, rrb_pr, cycles,
+                            retired, bundles_executed, taken_branches,
+                            issue_tick, countdown, executed, t_iters, flag,
+                        ) = tr.fn(
+                            self, cache, mem, grl, frl, prl, btb, lc, ec,
+                            rrb_gr, rrb_fr, rrb_pr, cycles, retired,
+                            bundles_executed, taken_branches, issue_tick,
+                            countdown, sampling, executed, max_bundles,
+                            cycle_limit,
+                        )
+                        tjit.entries += 1
+                        tjit.iters += t_iters
+                        tjit.compiled_bundles += bundles_executed - before
+                        tjit.deopts[flag] += 1
+                        if flag == EXIT_SAMPLE:
+                            # the trace retired a bundle that expired the
+                            # sampling countdown: fire the PMU interrupt
+                            # exactly as the generic path below does
+                            countdown = sampling
+                            cycles += self.sample_overhead
+                            self.pc = pc
+                            self.cycles = cycles
+                            self.retired = retired
+                            self.bundles_executed = bundles_executed
+                            self.taken_branches = taken_branches
+                            self._issue_tick = issue_tick
+                            self._sample_countdown = countdown
+                            regs.lc = lc
+                            regs.ec = ec
+                            regs.rrb_gr = rrb_gr
+                            regs.rrb_fr = rrb_fr
+                            regs.rrb_pr = rrb_pr
+                            self.on_sample(self)  # type: ignore[misc]
+                            pc = self.pc
+                            cycles = self.cycles
+                            retired = self.retired
+                            bundles_executed = self.bundles_executed
+                            taken_branches = self.taken_branches
+                            issue_tick = self._issue_tick
+                            countdown = self._sample_countdown
+                            sampling = self.sample_interval
+                            fast_mem = cache.validator is None
+                            if fast_mem:
+                                l2_sets = cache._l2_sets
+                                l2_nsets = cache._l2_nsets
+                                l2_hit_lat = cache._l2_hit
+                                line_state = cache.state
+                                l2_dirty = cache.l2_dirty
+                                mem_events = cache.events
+                            cache_access = cache.access_fn
+                            lc = regs.lc
+                            ec = regs.ec
+                            sor = regs.sor
+                            sor32 = 32 + sor
+                            rrb_gr = regs.rrb_gr
+                            rrb_fr = regs.rrb_fr
+                            rrb_pr = regs.rrb_pr
+                        continue
                 base = pc & _BMASK
                 decoded = dmap_get(base)
                 if decoded is None:
@@ -630,6 +726,14 @@ class Core:
                             btb_append((base + idx, imm))
                             if len(btb) > _BTB_SIZE:
                                 del btb[0]
+                            if hot is not None:
+                                hits = hot_get(imm, 0) + 1
+                                hot[imm] = hits
+                                if hits == jit_threshold:
+                                    tjit.compile(
+                                        imm, dmap, dcache.keys, sor,
+                                        bundles_per_cycle,
+                                    )
                             break
                     elif op == _BR_CLOOP:
                         if lc > 0:
@@ -640,6 +744,14 @@ class Core:
                             btb_append((base + idx, imm))
                             if len(btb) > _BTB_SIZE:
                                 del btb[0]
+                            if hot is not None:
+                                hits = hot_get(imm, 0) + 1
+                                hot[imm] = hits
+                                if hits == jit_threshold:
+                                    tjit.compile(
+                                        imm, dmap, dcache.keys, sor,
+                                        bundles_per_cycle,
+                                    )
                             break
                     elif op == _BR_WTOP:
                         # qp is the *branch* predicate here, not a guard
@@ -676,6 +788,14 @@ class Core:
                             btb_append((base + idx, imm))
                             if len(btb) > _BTB_SIZE:
                                 del btb[0]
+                            if hot is not None:
+                                hits = hot_get(imm, 0) + 1
+                                hot[imm] = hits
+                                if hits == jit_threshold:
+                                    tjit.compile(
+                                        imm, dmap, dcache.keys, sor,
+                                        bundles_per_cycle,
+                                    )
                             break
                     elif op == _BR_COND:
                         # guard already passed (qp true) -> taken

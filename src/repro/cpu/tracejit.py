@@ -1,0 +1,757 @@
+"""Trace compilation for the interpreter: hot loops become closures.
+
+COBRA's own premise — steady-state loop traces dominate runtime and
+deserve a specialized fast path — applied to the simulator itself.  The
+generic interpreter pays, for every slot of every iteration, a decoded-
+tuple unpack, a predicate check, a ~30-arm opcode dispatch chain and
+static-vs-rotating register tests.  For the modulo-scheduled kernels
+that make up essentially all simulated cycles, none of that changes
+between iterations: the decoded slots, the predicate register numbers,
+the rotation classification of every operand, the lfetch hints and the
+memory-op kinds are all loop invariants.
+
+:func:`compile_trace` therefore flattens the decoded bundles of one
+loop body — from a hot ``br.ctop``/``br.cloop``/``br.wtop`` back-edge
+target up to and including the back-edge bundle — into Python source
+specialized for exactly that trace (operand indices folded to
+constants, dispatch eliminated, hardwired-register guards proven away
+at compile time), ``exec``s it once, and hands the interpreter a *step
+closure* that runs steady-state iterations until the trace exits.
+
+The contract with the generic interpreter (DESIGN.md §9):
+
+* **bit-identical observables** — the closure replicates the generic
+  loop's cycle accounting, L2-hit fast path, DEAR/BTB updates and
+  retirement arithmetic statement for statement; per-bundle it checks
+  the same ``max_bundles``/``cycle_limit`` budget the scheduler uses to
+  keep cores' clocks entangled, so even *slice boundaries* fall on the
+  same bundle as the generic path;
+* **fall back on anything unusual** — predicate/LC/EC divergence simply
+  steers the coded exits (the trace is the specialized version; the
+  generic interpreter is the always-correct fallback, cf. multi-version
+  rewriting); sampling boundaries return control to the interpreter's
+  sample-interrupt block; traces never compile over ``alloc``,
+  ``clrrrb``, calls, returns or ``halt``;
+* **deoptimize on patches** — compiled traces key every covered bundle
+  by the decode cache's content bytes and are revalidated whenever the
+  decode journal observes a mutation (:meth:`TraceJit.sync`), so
+  lfetch→nop / lfetch→lfetch.excl rewrites and their rollbacks — or a
+  chaos schedule tearing them mid-run — invalidate exactly the traces
+  they touch before the next slice executes.
+
+The closure executes only while the memory fast path is legal (no
+coherence validator attached) and while ``sor`` matches the compiled
+rotation geometry; the interpreter guards both at every entry.
+"""
+
+from __future__ import annotations
+
+from ..isa.binary import BUNDLE_BYTES
+from ..isa.instructions import Op
+from ..memory.address import LINE_SHIFT
+from ..memory.coherence import MODIFIED, SHARED
+from ..memory.dram import DATA_BASE
+from ..memory.hierarchy import (
+    ATOMIC,
+    LOAD,
+    LOAD_BIAS,
+    PREFETCH,
+    PREFETCH_EXCL,
+    STORE,
+)
+
+__all__ = ["CompiledTrace", "TraceJit", "compile_trace", "MAX_TRACE_BUNDLES"]
+
+# deopt/exit flags returned by compiled traces (index into DEOPT_REASONS)
+EXIT_LOOP = 0      # loop completed (back-edge not taken) — normal epilog exit
+EXIT_SAMPLE = 1    # sampling countdown expired — fire the PMU interrupt
+EXIT_BUDGET = 2    # max_bundles / cycle_limit slice boundary reached
+EXIT_SIDE = 3      # a conditional branch left the trace mid-body
+
+DEOPT_REASONS = ("loop-exit", "sample", "budget", "side-exit")
+
+#: Longest loop body (in bundles) the compiler will flatten.
+MAX_TRACE_BUNDLES = 32
+
+#: Back-edge executions before a loop head is considered hot.
+HOT_THRESHOLD = 16
+
+_NOP = int(Op.NOP)
+_ADD = int(Op.ADD)
+_ADDI = int(Op.ADDI)
+_SUB = int(Op.SUB)
+_MOV = int(Op.MOV)
+_MOVI = int(Op.MOVI)
+_AND = int(Op.AND)
+_OR = int(Op.OR)
+_XOR = int(Op.XOR)
+_SHL = int(Op.SHL)
+_SHR = int(Op.SHR)
+_SHLADD = int(Op.SHLADD)
+_CMP_LT = int(Op.CMP_LT)
+_CMP_LE = int(Op.CMP_LE)
+_CMP_EQ = int(Op.CMP_EQ)
+_CMP_NE = int(Op.CMP_NE)
+_CMPI_LT = int(Op.CMPI_LT)
+_CMPI_NE = int(Op.CMPI_NE)
+_MOV_LC_IMM = int(Op.MOV_LC_IMM)
+_MOV_LC_REG = int(Op.MOV_LC_REG)
+_MOV_EC_IMM = int(Op.MOV_EC_IMM)
+_LD8 = int(Op.LD8)
+_ST8 = int(Op.ST8)
+_LDFD = int(Op.LDFD)
+_STFD = int(Op.STFD)
+_LFETCH = int(Op.LFETCH)
+_FMA = int(Op.FMA)
+_FADD = int(Op.FADD)
+_FSUB = int(Op.FSUB)
+_FMUL = int(Op.FMUL)
+_SETF = int(Op.SETF)
+_GETF = int(Op.GETF)
+_FABS = int(Op.FABS)
+_FMAX = int(Op.FMAX)
+_BR = int(Op.BR)
+_BR_COND = int(Op.BR_COND)
+_BR_CTOP = int(Op.BR_CTOP)
+_BR_CLOOP = int(Op.BR_CLOOP)
+_BR_WTOP = int(Op.BR_WTOP)
+_FETCHADD8 = int(Op.FETCHADD8)
+
+_B63 = 1 << 63
+_M64 = (1 << 64) - 1
+_BMASK = ~(BUNDLE_BYTES - 1)
+_SMASK = BUNDLE_BYTES - 1
+_BTB_SIZE = 4
+
+_LOOP_BRANCHES = (_BR_CTOP, _BR_CLOOP, _BR_WTOP)
+
+#: ops writing a general register through r1
+_GR_DEST_OPS = frozenset((
+    _ADD, _ADDI, _SUB, _MOV, _MOVI, _AND, _OR, _XOR, _SHL, _SHR,
+    _SHLADD, _GETF, _LD8, _FETCHADD8,
+))
+#: ops writing a float register through r1
+_FR_DEST_OPS = frozenset((_LDFD, _FMA, _FADD, _FSUB, _FMUL, _SETF, _FABS, _FMAX))
+#: ops writing two predicate registers through r1/r2
+_PR_DEST_OPS = frozenset(range(_CMP_LT, _CMPI_NE + 1))
+#: memory ops whose nonzero imm post-increments the gr addressed by r2
+_POSTINC_OPS = frozenset((_LD8, _ST8, _LDFD, _STFD, _LFETCH))
+
+_SUPPORTED = (
+    _GR_DEST_OPS
+    | _FR_DEST_OPS
+    | _PR_DEST_OPS
+    | frozenset((
+        _MOV_LC_IMM, _MOV_LC_REG, _MOV_EC_IMM, _ST8, _STFD, _LFETCH,
+        _BR, _BR_COND, _BR_CTOP, _BR_CLOOP, _BR_WTOP,
+    ))
+)
+
+
+class CompiledTrace:
+    """One compiled loop trace: the closure plus its validity metadata."""
+
+    __slots__ = ("fn", "head", "sor", "addrs", "keys", "n_bundles", "source")
+
+    def __init__(self, fn, head, sor, addrs, keys, n_bundles, source):
+        self.fn = fn
+        self.head = head
+        self.sor = sor
+        self.addrs = addrs      # covered bundle addresses, in trace order
+        self.keys = keys        # decode-cache content keys at compile time
+        self.n_bundles = n_bundles
+        self.source = source    # generated Python (audits / debugging)
+
+
+# -- code generation ----------------------------------------------------------
+
+
+class _Emit:
+    """Tiny indented-source builder."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def __call__(self, line: str) -> None:
+        self.lines.append("    " * self.depth + line)
+
+    def indent(self) -> None:
+        self.depth += 1
+
+    def dedent(self) -> None:
+        self.depth -= 1
+
+
+def _wrap64(expr: str) -> str:
+    return f"((({expr}) + {_B63}) & {_M64}) - {_B63}"
+
+
+class _TraceAbort(Exception):
+    """Raised by the emitter when the trace cannot be specialized."""
+
+
+def _walk(head: int, dmap: dict) -> list[tuple[int, tuple]]:
+    """Collect the straight-line loop body ``head..back-edge`` bundles.
+
+    Returns ``[(addr, decoded), ...]`` or raises :class:`_TraceAbort`.
+    """
+    if head & _SMASK:
+        raise _TraceAbort("mid-bundle loop head")
+    body: list[tuple[int, tuple]] = []
+    addr = head
+    for _ in range(MAX_TRACE_BUNDLES):
+        decoded = dmap.get(addr)
+        if decoded is None:
+            raise _TraceAbort("trace runs off the decoded image")
+        body.append((addr, decoded))
+        closed = False
+        for entry in decoded[1]:
+            op = entry[1]
+            if op not in _SUPPORTED:
+                raise _TraceAbort(f"unsupported opcode {op}")
+            if op in _LOOP_BRANCHES:
+                if entry[7] != head:
+                    raise _TraceAbort("loop branch to a different head")
+                closed = True
+            elif op == _BR:
+                if entry[2] == 0 and entry[7] != head:
+                    # unconditional goto elsewhere: not a loop body
+                    raise _TraceAbort("unconditional branch out of trace")
+                if entry[7] == head:
+                    closed = True
+            elif op == _BR_COND and entry[7] == head:
+                closed = True
+        if closed:
+            return body
+        addr += BUNDLE_BYTES
+    raise _TraceAbort("loop body longer than MAX_TRACE_BUNDLES")
+
+
+def compile_trace(
+    head: int,
+    dmap: dict,
+    keys: dict,
+    sor: int,
+    bundles_per_cycle: int,
+) -> CompiledTrace | None:
+    """Compile the loop at ``head`` into a step closure, or ``None``.
+
+    ``dmap``/``keys`` are the core's synced :class:`DecodeCache` views;
+    ``sor`` and ``bundles_per_cycle`` are baked into the generated code
+    (the interpreter guards ``sor`` equality at every trace entry).
+    """
+    try:
+        body = _walk(head, dmap)
+        source = _generate(head, body, sor, bundles_per_cycle)
+    except _TraceAbort:
+        return None
+    namespace: dict = {}
+    exec(compile(source, f"<trace {head:#x}>", "exec"), namespace)  # noqa: S102
+    fn = namespace["__trace__"]
+    addrs = tuple(addr for addr, _ in body)
+    return CompiledTrace(
+        fn=fn,
+        head=head,
+        sor=sor,
+        addrs=addrs,
+        keys=tuple(keys.get(a) for a in addrs),
+        n_bundles=len(body),
+        source=source,
+    )
+
+
+def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> str:
+    sor32 = 32 + sor
+    e = _Emit()
+
+    # -- operand expressions, resolved at compile time ---------------------
+
+    def gr_r(r: int) -> str:
+        if r == 0:
+            return "0"
+        if sor and 32 <= r < sor32:
+            return f"grl[32 + ({r - 32} + rrb_gr) % {sor}]"
+        return f"grl[{r}]"
+
+    def gr_w(r: int) -> str:
+        if r == 0:
+            raise _TraceAbort("write to r0")
+        if sor and 32 <= r < sor32:
+            return f"grl[32 + ({r - 32} + rrb_gr) % {sor}]"
+        return f"grl[{r}]"
+
+    def fr_r(r: int) -> str:
+        if r >= 32:
+            return f"frl[32 + ({r - 32} + rrb_fr) % 96]"
+        return f"frl[{r}]"
+
+    def fr_w(r: int) -> str:
+        if r in (0, 1):
+            raise _TraceAbort(f"write to f{r}")
+        return fr_r(r)
+
+    def pr_r(p: int) -> str:
+        if p >= 16:
+            return f"prl[16 + ({p - 16} + rrb_pr) % 48]"
+        return f"prl[{p}]"
+
+    def pr_w(p: int) -> str:
+        if p == 0:
+            raise _TraceAbort("write to p0")
+        return pr_r(p)
+
+    def ret(pc_expr: str, flag: int) -> str:
+        return (
+            f"return ({pc_expr}, lc, ec, rrb_gr, rrb_fr, rrb_pr, cycles, "
+            f"retired, bundles_executed, taken_branches, issue_tick, "
+            f"countdown, executed, iters, {flag})"
+        )
+
+    def emit_retire(n_slots: int, next_pc: int) -> None:
+        """The generic loop's end-of-bundle bookkeeping, constants folded."""
+        e(f"retired += {n_slots}")
+        e("issue_tick += 1")
+        e(f"if issue_tick >= {bpc}:")
+        e.indent()
+        e("issue_tick = 0")
+        e("cycles += 1 + stall")
+        e.dedent()
+        e("else:")
+        e.indent()
+        e("cycles += stall")
+        e.dedent()
+        e("bundles_executed += 1")
+        e("executed += 1")
+        e("if sampling:")
+        e.indent()
+        e(f"countdown -= {n_slots}")
+        e("if countdown <= 0:")
+        e.indent()
+        e(ret(str(next_pc), EXIT_SAMPLE))
+        e.dedent()
+        e.dedent()
+
+    def emit_taken(base: int, idx: int, target: int) -> None:
+        """Taken-branch exit: bookkeeping + retire, then leave or loop."""
+        e("taken_branches += 1")
+        e(f"btb_append(({base + idx}, {target}))")
+        e(f"if len(btb) > {_BTB_SIZE}:")
+        e.indent()
+        e("del btb[0]")
+        e.dedent()
+        emit_retire(idx + 1, target)
+        if target == head:
+            e("iters += 1")
+            e("continue")
+        else:
+            e(ret(str(target), EXIT_SIDE))
+
+    def emit_rotate() -> None:
+        """One register rotation (shared by ctop/wtop arms)."""
+        if sor:
+            e(f"rrb_gr = (rrb_gr - 1) % {sor}")
+        e("rrb_fr = (rrb_fr - 1) % 96")
+        e("rrb_pr = (rrb_pr - 1) % 48")
+
+    def emit_post_inc(r2: int, imm: int) -> None:
+        e(f"na = {_wrap64(f'a + {imm}')}")
+        e(f"{gr_w(r2)} = na")
+
+    def emit_mem_addr(r2: int) -> None:
+        e(f"a = {gr_r(r2)}")
+
+    def emit_l2_probe() -> None:
+        e(f"line = a >> {LINE_SHIFT}")
+        e("lru = l2_sets[line % l2_nsets]")
+
+    def emit_slow_access(kind: int, base: int, idx: int, charge: bool) -> None:
+        if charge:
+            e(f"stall += cache_access(cycles, a, {kind})")
+        else:
+            e(f"cache_access(cycles, a, {kind})")
+        if kind in (LOAD, STORE, LOAD_BIAS):
+            e("dp = cache.dear_pending")
+            e("if dp is not None:")
+            e.indent()
+            e(f"core.dear = ({base + idx}, a, dp)")
+            e("cache.dear_pending = None")
+            e.dedent()
+
+    # -- slot emitters -----------------------------------------------------
+
+    def emit_slot(base: int, entry: tuple) -> None:
+        idx, op, qp, r1, r2, r3, r4, imm, excl = entry
+
+        guarded = bool(qp) and op != _BR_WTOP
+        if guarded:
+            e(f"if {pr_r(qp)}:")
+            e.indent()
+
+        if op == _LDFD or op == _LD8:
+            reader_fast = "mem_f64_item" if op == _LDFD else "mem_i64_item"
+            reader_slow = "mem_read_f64" if op == _LDFD else "mem_read_i64"
+            emit_mem_addr(r2)
+            biased = op == _LD8 and excl
+            if biased:
+                emit_slow_access(LOAD_BIAS, base, idx, charge=True)
+            else:
+                emit_l2_probe()
+                e("if line in lru:")
+                e.indent()
+                e("mem_events.loads += 1")
+                e("del lru[line]")
+                e("lru[line] = None")
+                e("stall += l2_hit_lat")
+                e.dedent()
+                e("else:")
+                e.indent()
+                emit_slow_access(LOAD, base, idx, charge=True)
+                e.dedent()
+            e(f"off = a - {DATA_BASE}")
+            e("if 0 <= off < mem_cap and not off & 7:")
+            e.indent()
+            e(f"v = {reader_fast}(off >> 3)")
+            e.dedent()
+            e("else:")
+            e.indent()
+            e(f"v = {reader_slow}(a)")
+            e.dedent()
+            e(f"{(fr_w if op == _LDFD else gr_w)(r1)} = v")
+            if imm:
+                emit_post_inc(r2, imm)
+        elif op == _STFD or op == _ST8:
+            emit_mem_addr(r2)
+            emit_l2_probe()
+            e("hit = False")
+            e("if line in lru:")
+            e.indent()
+            e("st = line_state[line]")
+            e(f"if st != {SHARED}:")
+            e.indent()
+            e("mem_events.stores += 1")
+            e(f"if st != {MODIFIED}:")
+            e.indent()
+            e(f"line_state[line] = {MODIFIED}")
+            e.dedent()
+            e("l2_dirty.add(line)")
+            e("del lru[line]")
+            e("lru[line] = None")
+            e("stall += l2_hit_lat")
+            e("hit = True")
+            e.dedent()
+            e.dedent()
+            e("if not hit:")
+            e.indent()
+            emit_slow_access(STORE, base, idx, charge=True)
+            e.dedent()
+            if op == _STFD:
+                e(f"v = {fr_r(r3)}")
+            else:
+                e(f"v = {gr_r(r3)}")
+            e(f"off = a - {DATA_BASE}")
+            e("if 0 <= off < mem_cap and not off & 7:")
+            e.indent()
+            if op == _STFD:
+                e("mem_f64_set(off >> 3, v)")
+            else:
+                e(f"mem_i64_set(off >> 3, {_wrap64('v')})")
+            e.dedent()
+            e("else:")
+            e.indent()
+            e(f"{'mem_write_f64' if op == _STFD else 'mem_write_i64'}(a, v)")
+            e.dedent()
+            if imm:
+                emit_post_inc(r2, imm)
+        elif op == _LFETCH:
+            emit_mem_addr(r2)
+            emit_l2_probe()
+            cond = "line in lru"
+            if excl:
+                cond += f" and line_state[line] == {MODIFIED}"
+            e(f"if {cond}:")
+            e.indent()
+            e("mem_events.prefetches += 1")
+            e("del lru[line]")
+            e("lru[line] = None")
+            e.dedent()
+            e("else:")
+            e.indent()
+            emit_slow_access(
+                PREFETCH_EXCL if excl else PREFETCH, base, idx, charge=False
+            )
+            e.dedent()
+            if imm:
+                emit_post_inc(r2, imm)
+        elif op == _FMA:
+            e(f"{fr_w(r1)} = {fr_r(r2)} * {fr_r(r3)} + {fr_r(r4)}")
+        elif op == _ADD:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} + {gr_r(r3)}')}")
+        elif op == _ADDI:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} + {imm}')}")
+        elif op == _SUB:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} - {gr_r(r3)}')}")
+        elif op == _AND:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} & {gr_r(r3)}')}")
+        elif op == _OR:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} | {gr_r(r3)}')}")
+        elif op == _XOR:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} ^ {gr_r(r3)}')}")
+        elif op == _SHL:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} << {imm}')}")
+        elif op == _SHR:
+            e(f"{gr_w(r1)} = {_wrap64(f'{gr_r(r2)} >> {imm}')}")
+        elif op == _SHLADD:
+            e(f"{gr_w(r1)} = {_wrap64(f'({gr_r(r2)} << {imm}) + {gr_r(r3)}')}")
+        elif op == _MOV:
+            e(f"{gr_w(r1)} = {gr_r(r2)}")
+        elif op == _MOVI:
+            e(f"{gr_w(r1)} = {((imm + _B63) & _M64) - _B63}")
+        elif op in _PR_DEST_OPS:
+            a_expr = gr_r(r3)
+            if op >= _CMPI_LT:
+                b_expr = str(imm)
+                base_op = op - 4
+            else:
+                b_expr = gr_r(r4)
+                base_op = op
+            rel = {
+                _CMP_LT: "<", _CMP_LE: "<=", _CMP_EQ: "==", _CMP_NE: "!=",
+            }[base_op]
+            e(f"c = {a_expr} {rel} {b_expr}")
+            e(f"{pr_w(r1)} = c")
+            e(f"{pr_w(r2)} = not c")
+        elif op == _FADD:
+            e(f"{fr_w(r1)} = {fr_r(r2)} + {fr_r(r3)}")
+        elif op == _FSUB:
+            e(f"{fr_w(r1)} = {fr_r(r2)} - {fr_r(r3)}")
+        elif op == _FMUL:
+            e(f"{fr_w(r1)} = {fr_r(r2)} * {fr_r(r3)}")
+        elif op == _FMAX:
+            e(f"fa = {fr_r(r2)}")
+            e(f"fb = {fr_r(r3)}")
+            e(f"{fr_w(r1)} = fa if fa >= fb else fb")
+        elif op == _FABS:
+            e(f"{fr_w(r1)} = abs({fr_r(r2)})")
+        elif op == _SETF:
+            e(f"{fr_w(r1)} = float({gr_r(r2)})")
+        elif op == _GETF:
+            e(f"{gr_w(r1)} = {_wrap64(f'int({fr_r(r2)})')}")
+        elif op == _FETCHADD8:
+            emit_mem_addr(r2)
+            e(f"stall += cache_access(cycles, a, {ATOMIC})")
+            e("old = mem_read_i64(a)")
+            e(f"mem_write_i64(a, old + {imm})")
+            e(f"{gr_w(r1)} = old")
+        elif op == _MOV_LC_IMM:
+            e(f"lc = {imm}")
+        elif op == _MOV_LC_REG:
+            e(f"lc = {gr_r(r2)}")
+        elif op == _MOV_EC_IMM:
+            e(f"ec = {imm}")
+        elif op == _BR_CTOP:
+            e("if lc > 0:")
+            e.indent()
+            e("lc -= 1")
+            emit_rotate()
+            e("prl[16 + rrb_pr] = True")
+            emit_taken(base, idx, imm)
+            e.dedent()
+            e("elif ec > 1:")
+            e.indent()
+            e("ec -= 1")
+            emit_rotate()
+            e("prl[16 + rrb_pr] = False")
+            emit_taken(base, idx, imm)
+            e.dedent()
+            e("else:")
+            e.indent()
+            e("if ec > 0:")
+            e.indent()
+            e("ec -= 1")
+            e.dedent()
+            emit_rotate()
+            e("prl[16 + rrb_pr] = False")
+            e.dedent()
+        elif op == _BR_CLOOP:
+            e("if lc > 0:")
+            e.indent()
+            e("lc -= 1")
+            emit_taken(base, idx, imm)
+            e.dedent()
+        elif op == _BR_WTOP:
+            # qp is the *branch* predicate here, evaluated even when false
+            e(f"if {pr_r(qp)}:")
+            e.indent()
+            emit_rotate()
+            e("prl[16 + rrb_pr] = False")
+            emit_taken(base, idx, imm)
+            e.dedent()
+            e("elif ec > 1:")
+            e.indent()
+            e("ec -= 1")
+            emit_rotate()
+            e("prl[16 + rrb_pr] = False")
+            emit_taken(base, idx, imm)
+            e.dedent()
+            e("else:")
+            e.indent()
+            e("if ec > 0:")
+            e.indent()
+            e("ec -= 1")
+            e.dedent()
+            emit_rotate()
+            e("prl[16 + rrb_pr] = False")
+            e.dedent()
+        elif op == _BR or op == _BR_COND:
+            # guard already evaluated (qp wrapper above) -> taken
+            emit_taken(base, idx, imm)
+        else:  # pragma: no cover — _walk filters unsupported ops
+            raise _TraceAbort(f"unsupported opcode {op}")
+
+        if guarded:
+            e.dedent()
+
+    # -- function body -----------------------------------------------------
+
+    e("def __trace__(core, cache, mem, grl, frl, prl, btb, lc, ec, rrb_gr, "
+      "rrb_fr, rrb_pr, cycles, retired, bundles_executed, taken_branches, "
+      "issue_tick, countdown, sampling, executed, max_bundles, cycle_limit):")
+    e.indent()
+    e("cache_access = cache.access_fn")
+    e("l2_sets = cache._l2_sets")
+    e("l2_nsets = cache._l2_nsets")
+    e("l2_hit_lat = cache._l2_hit")
+    e("line_state = cache.state")
+    e("l2_dirty = cache.l2_dirty")
+    e("mem_events = cache.events")
+    e("mem_cap = mem.capacity")
+    e("mem_f64_item = mem._f64.item")
+    e("mem_f64_set = mem._f64.__setitem__")
+    e("mem_i64_item = mem._i64.item")
+    e("mem_i64_set = mem._i64.__setitem__")
+    e("mem_read_f64 = mem.read_f64")
+    e("mem_write_f64 = mem.write_f64")
+    e("mem_read_i64 = mem.read_i64")
+    e("mem_write_i64 = mem.write_i64")
+    e("btb_append = btb.append")
+    e("iters = 0")
+    e("while True:")
+    e.indent()
+    for n, (addr, decoded) in enumerate(body):
+        n_total = decoded[0]
+        entries = decoded[1]
+        e(f"# -- bundle {addr:#x}")
+        e("if executed >= max_bundles or cycles > cycle_limit:")
+        e.indent()
+        e(ret(str(addr), EXIT_BUDGET))
+        e.dedent()
+        e("stall = 0")
+        for entry in entries:
+            emit_slot(addr, entry)
+        # fall-through retirement (no branch taken in this bundle)
+        emit_retire(n_total, addr + BUNDLE_BYTES)
+        if n == len(body) - 1:
+            # fell past the back-edge bundle: the loop is done
+            e(ret(str(addr + BUNDLE_BYTES), EXIT_LOOP))
+    e.dedent()
+    e.dedent()
+    return "\n".join(e.lines) + "\n"
+
+
+# -- per-core management ------------------------------------------------------
+
+
+class TraceJit:
+    """Per-core trace registry: hotness, compilation, invalidation, stats."""
+
+    __slots__ = (
+        "traces",
+        "hot",
+        "blacklist",
+        "threshold",
+        "epoch_seen",
+        "compiles",
+        "invalidations",
+        "entries",
+        "iters",
+        "compiled_bundles",
+        "deopts",
+    )
+
+    def __init__(self, threshold: int = HOT_THRESHOLD) -> None:
+        #: loop head -> CompiledTrace (the interpreter dispatches on this)
+        self.traces: dict[int, CompiledTrace] = {}
+        #: loop head -> taken back-edge count since (re)reset
+        self.hot: dict[int, int] = {}
+        #: heads that failed to compile (retried after the next patch)
+        self.blacklist: set[int] = set()
+        self.threshold = threshold
+        self.epoch_seen = -1
+        self.compiles = 0
+        self.invalidations = 0
+        self.entries = 0            # compiled-trace dispatches
+        self.iters = 0              # steady-state iterations run compiled
+        self.compiled_bundles = 0   # bundles executed inside traces
+        self.deopts = [0, 0, 0, 0]  # indexed by EXIT_* flag
+
+    def sync(self, dcache) -> dict[int, CompiledTrace]:
+        """Revalidate compiled traces against the decode journal.
+
+        Called once per ``run()`` slice, right after ``DecodeCache.sync``
+        — the same cadence the generic interpreter refreshes its decoded
+        view, so a patched bundle can never execute through a stale
+        trace.  Traces whose covered content keys still match are kept
+        (a patch + byte-identical rollback does not deoptimize).
+        """
+        epoch = dcache.epoch
+        if epoch != self.epoch_seen:
+            self.epoch_seen = epoch
+            if self.traces:
+                keys = dcache.keys
+                stale = [
+                    h
+                    for h, tr in self.traces.items()
+                    if any(keys.get(a) != k for a, k in zip(tr.addrs, tr.keys))
+                ]
+                for h in stale:
+                    del self.traces[h]
+                    self.invalidations += 1
+                    self.hot[h] = 0
+            if self.blacklist:
+                # patched code may have become compilable — retry after
+                # the head re-proves itself hot
+                for h in self.blacklist:
+                    self.hot[h] = 0
+                self.blacklist.clear()
+        return self.traces
+
+    def compile(
+        self, head: int, dmap: dict, keys: dict, sor: int, bpc: int
+    ) -> CompiledTrace | None:
+        existing = self.traces.get(head)
+        if existing is not None:
+            return existing
+        if head in self.blacklist:
+            return None
+        trace = compile_trace(head, dmap, keys, sor, bpc)
+        if trace is None:
+            self.blacklist.add(head)
+            return None
+        self.traces[head] = trace
+        self.compiles += 1
+        return trace
+
+    def stats(self) -> dict:
+        """Observability snapshot (bench / CobraReport fast-path lines)."""
+        return {
+            "compiles": self.compiles,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "iterations": self.iters,
+            "compiled_bundles": self.compiled_bundles,
+            "deopts": {
+                reason: count
+                for reason, count in zip(DEOPT_REASONS, self.deopts)
+            },
+        }

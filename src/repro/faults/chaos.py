@@ -153,33 +153,54 @@ class ChaosHarness:
         )
         return record, None
 
-    def run(self) -> ChaosReport:
+    def run(self, jobs: int = 1) -> ChaosReport:
+        from ..parallel import run_tasks
+
+        machines = sorted(self.machines.items())
+        # fault-free references and faulted cells are all independent
+        # (fresh machine, fresh build, per-cell seed), so they fan out
+        # together; the merge below walks the same ordered matrix the
+        # sequential sweep would, keeping the report byte-identical at
+        # any job count
+        baseline_tasks = [
+            (self._baseline, (mname, factory)) for mname, factory in machines
+        ]
+        cells = [
+            (mname, factory, strategy, seed)
+            for mname, factory in machines
+            for strategy in self.strategies
+            for seed in self.seeds
+        ]
+        outcomes = run_tasks(
+            baseline_tasks + [(self._faulted, cell) for cell in cells],
+            jobs=jobs,
+        )
         report = ChaosReport(self.workload.name)
-        for mname, factory in self.machines.items():
-            report.baseline_digests[mname] = self._baseline(mname, factory)
-            for strategy in self.strategies:
-                for seed in self.seeds:
-                    record, error = self._faulted(mname, factory, strategy, seed)
-                    if error is not None:
-                        report.failures.append(error)
-                        continue
-                    report.records.append(record)
-                    base = report.baseline_digests[mname]
-                    if record.digest != base:
-                        report.failures.append(
-                            f"{record.label}: output digest {record.digest[:12]} "
-                            f"differs from fault-free {base[:12]} — a fault "
-                            "reached program correctness"
-                        )
-                    if not record.ledger.accounted:
-                        report.failures.append(
-                            f"{record.label}: {record.ledger.outstanding} injected "
-                            "fault(s) unaccounted (neither detected nor tolerated)"
-                        )
-                    if record.mode not in ("normal", "monitor-only"):
-                        report.failures.append(
-                            f"{record.label}: unknown end mode {record.mode!r}"
-                        )
+        for (mname, _factory), digest in zip(machines, outcomes):
+            report.baseline_digests[mname] = digest
+        for (mname, _factory, strategy, seed), (record, error) in zip(
+            cells, outcomes[len(machines):]
+        ):
+            if error is not None:
+                report.failures.append(error)
+                continue
+            report.records.append(record)
+            base = report.baseline_digests[mname]
+            if record.digest != base:
+                report.failures.append(
+                    f"{record.label}: output digest {record.digest[:12]} "
+                    f"differs from fault-free {base[:12]} — a fault "
+                    "reached program correctness"
+                )
+            if not record.ledger.accounted:
+                report.failures.append(
+                    f"{record.label}: {record.ledger.outstanding} injected "
+                    "fault(s) unaccounted (neither detected nor tolerated)"
+                )
+            if record.mode not in ("normal", "monitor-only"):
+                report.failures.append(
+                    f"{record.label}: unknown end mode {record.mode!r}"
+                )
         if report.records and report.total_injected() == 0:
             report.failures.append(
                 "fault schedule injected nothing across the whole matrix — "

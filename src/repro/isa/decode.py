@@ -137,13 +137,20 @@ class DecodeCache:
     wins, matching the old last-image-loaded fetch order.
     """
 
-    __slots__ = ("map", "keys", "_images", "_seen")
+    __slots__ = ("map", "keys", "epoch", "decodes", "_images", "_seen")
 
     def __init__(self) -> None:
         #: bundle address -> (n_slots, entries) (the interpreter's view)
         self.map: dict[int, tuple] = {}
         #: bundle address -> content key bytes (audit / property tests)
         self.keys: dict[int, bytes] = {}
+        #: bumped whenever sync() re-decodes anything — consumers holding
+        #: derived views (compiled traces) revalidate on epoch change
+        self.epoch = 0
+        #: total decode_bundle calls (bundle decode events); a fetch that
+        #: is served from ``map`` costs none, so the cache hit rate over a
+        #: run is ``1 - decodes / bundles_fetched``
+        self.decodes = 0
         self._images: list[BinaryImage] = []
         #: per image: [version seen, journal length seen]
         self._seen: list[list[int]] = []
@@ -170,6 +177,7 @@ class DecodeCache:
         """
         decoded_map = self.map
         keys = self.keys
+        dirty = 0
         for idx, image in enumerate(self._images):
             seen = self._seen[idx]
             version = image.version
@@ -186,14 +194,19 @@ class DecodeCache:
                     bundle = bundles[patch.address]
                     decoded_map[patch.address] = decode_bundle(bundle)
                     keys[patch.address] = encode_bundle(bundle)
+                    dirty += 1
             else:
                 # Structural change (first sync, append, link): rebuild
                 # this image's entries wholesale.
                 for addr, bundle in image.bundles.items():
                     decoded_map[addr] = decode_bundle(bundle)
                     keys[addr] = encode_bundle(bundle)
+                    dirty += 1
             seen[0] = version
             seen[1] = n_journal
+        if dirty:
+            self.decodes += dirty
+            self.epoch += 1
         return decoded_map
 
     # -- audit --------------------------------------------------------------

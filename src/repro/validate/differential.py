@@ -188,26 +188,38 @@ class DifferentialHarness:
         if record.verified is False:
             out.append(f"{label}: workload numerical verification failed")
 
-    def run(self) -> DifferentialReport:
+    def run(self, jobs: int = 1) -> DifferentialReport:
+        from ..parallel import run_tasks
+
+        # the cell list is built in sweep order and results are merged
+        # in that same order, so the report is byte-identical for any
+        # jobs value (repro.parallel's determinism contract)
+        cells = [
+            (mname, factory, strategy)
+            for mname, factory in sorted(self.machines.items())
+            for strategy in self.strategies
+        ]
+        outcomes = run_tasks(
+            [(self._execute, cell) for cell in cells], jobs=jobs
+        )
         report = DifferentialReport(self.workload.name)
         baselines: dict[str, RunRecord] = {}
-        for mname, factory in self.machines.items():
-            for strategy in self.strategies:
-                record, result, violations = self._execute(mname, factory, strategy)
-                report.records.append(record)
-                report.violations.extend(violations)
-                self._sanity(record, result, report.mismatches)
-                if strategy == "none":
-                    baselines[mname] = record
-                    continue
-                base = baselines[mname]
-                if record.digest != base.digest:
-                    for name, data in base.arrays.items():
-                        if record.arrays.get(name) != data:
-                            report.mismatches.append(
-                                f"{record.label}: array {name!r} differs "
-                                f"from the {base.label} baseline"
-                            )
+        for (mname, _factory, strategy), outcome in zip(cells, outcomes):
+            record, result, violations = outcome
+            report.records.append(record)
+            report.violations.extend(violations)
+            self._sanity(record, result, report.mismatches)
+            if strategy == "none":
+                baselines[mname] = record
+                continue
+            base = baselines[mname]
+            if record.digest != base.digest:
+                for name, data in base.arrays.items():
+                    if record.arrays.get(name) != data:
+                        report.mismatches.append(
+                            f"{record.label}: array {name!r} differs "
+                            f"from the {base.label} baseline"
+                        )
         # cross-machine: same program, same thread count -> same bits
         first: RunRecord | None = None
         for mname, base in baselines.items():
@@ -222,16 +234,80 @@ class DifferentialHarness:
 
 
 # -- canned specs -------------------------------------------------------------
+#
+# The builders/verifiers/factories below are frozen-dataclass callables
+# rather than lambdas so WorkloadSpec and the machine maps pickle —
+# that is what lets the harnesses ship cells to worker processes
+# (`--jobs N`, see repro.parallel).
+
+
+@dataclass(frozen=True)
+class DaxpyBuild:
+    n_elems: int
+    n_threads: int
+    reps: int
+
+    def __call__(self, machine: Machine) -> ParallelProgram:
+        from ..workloads.daxpy import build_daxpy
+
+        return build_daxpy(machine, self.n_elems, self.n_threads, self.reps)
+
+
+@dataclass(frozen=True)
+class DaxpyVerify:
+    reps: int
+
+    def __call__(self, prog: ParallelProgram) -> bool:
+        from ..workloads.daxpy import verify_daxpy
+
+        return verify_daxpy(prog, self.reps)
+
+
+@dataclass(frozen=True)
+class NpbBuild:
+    name: str
+    n_threads: int
+    reps: int
+
+    def __call__(self, machine: Machine) -> ParallelProgram:
+        from ..workloads import BENCHMARKS
+
+        return BENCHMARKS[self.name].build(machine, self.n_threads, reps=self.reps)
+
+
+@dataclass(frozen=True)
+class NpbVerify:
+    name: str
+    reps: int
+
+    def __call__(self, prog: ParallelProgram) -> bool:
+        from ..workloads import BENCHMARKS
+
+        return BENCHMARKS[self.name].verify(prog, self.reps)
+
+
+@dataclass(frozen=True)
+class MachineRecipe:
+    """Picklable machine factory (``kind`` selects the config builder)."""
+
+    kind: str  # "smp" (bus) or "altix" (directory cc-NUMA)
+    n_cpus: int
+    scale: int
+
+    def __call__(self) -> Machine:
+        if self.kind == "smp":
+            return Machine(itanium2_smp(self.n_cpus, scale=self.scale))
+        if self.kind == "altix":
+            return Machine(sgi_altix(self.n_cpus, scale=self.scale))
+        raise ValidationError(f"unknown machine kind {self.kind!r}")
 
 
 def daxpy_spec(n_elems: int = 512, n_threads: int = 4, reps: int = 5) -> WorkloadSpec:
     """The paper's DAXPY kernel as a differential workload."""
-    from ..workloads.daxpy import build_daxpy, verify_daxpy
-
     return WorkloadSpec(
         name=f"daxpy-n{n_elems}-t{n_threads}-r{reps}",
-        build=lambda machine: build_daxpy(machine, n_elems, n_threads, reps),
-        verify=lambda prog: verify_daxpy(prog, reps),
+        build=DaxpyBuild(n_elems, n_threads, reps),
+        verify=DaxpyVerify(reps),
     )
 
 
@@ -243,8 +319,8 @@ def npb_spec(name: str, n_threads: int = 4, reps: int | None = None) -> Workload
     reps = reps or bench.default_reps
     return WorkloadSpec(
         name=f"{name}-t{n_threads}-r{reps}",
-        build=lambda machine: bench.build(machine, n_threads, reps=reps),
-        verify=lambda prog: bench.verify(prog, reps),
+        build=NpbBuild(name, n_threads, reps),
+        verify=NpbVerify(name, reps),
     )
 
 
@@ -258,6 +334,6 @@ def default_machines(n_threads: int = 4, scale: int = 16) -> dict[str, Callable[
     n_smp = max(4, n_threads)
     n_numa = max(8, 2 * ((n_threads + 1) // 2))
     return {
-        f"smp{n_smp}": lambda: Machine(itanium2_smp(n_smp, scale=scale)),
-        f"altix{n_numa}": lambda: Machine(sgi_altix(n_numa, scale=scale)),
+        f"smp{n_smp}": MachineRecipe("smp", n_smp, scale),
+        f"altix{n_numa}": MachineRecipe("altix", n_numa, scale),
     }

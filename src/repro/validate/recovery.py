@@ -327,26 +327,39 @@ class RecoveryHarness:
 
     # -- the sweep ------------------------------------------------------------
 
-    def run(self) -> RecoveryReport:
+    def run(self, jobs: int = 1) -> RecoveryReport:
+        from ..parallel import run_tasks
+
         report = RecoveryReport(self.workload.name)
         any_txn = False
-        for mname, factory in self.machines.items():
-            ref_digest, ref_journal, ref_snapshots, n_ops, ref_report = (
-                self._reference(mname, factory)
-            )
+        machines = sorted(self.machines.items())
+        # phase 1: uninterrupted references (the crash-point count of
+        # each machine's sweep is only known after its reference run)
+        references = run_tasks(
+            [(self._reference, (mname, factory)) for mname, factory in machines],
+            jobs=jobs,
+        )
+        # phase 2: every crash cell, enumerated in sweep order; cells
+        # receive the reference bytes as arguments so they are pure
+        # functions of the task tuple and fan out freely
+        cells = []
+        for (mname, factory), ref in zip(machines, references):
+            ref_digest, ref_journal, ref_snapshots, n_ops, ref_report = ref
             report.reference_digests[mname] = ref_digest
             report.durable_writes[mname] = n_ops
             if any(d.active for d in ref_report.deployments):
                 any_txn = True
             for crash_write in range(1, n_ops + 1, self.stride):
                 for torn in self.torn_modes:
-                    record, failures = self._cell(
-                        mname, factory, crash_write, torn,
-                        ref_digest, ref_journal, ref_snapshots,
+                    cells.append(
+                        (mname, factory, crash_write, torn,
+                         ref_digest, ref_journal, ref_snapshots)
                     )
-                    report.failures.extend(failures)
-                    if record is not None:
-                        report.records.append(record)
+        outcomes = run_tasks([(self._cell, cell) for cell in cells], jobs=jobs)
+        for record, failures in outcomes:
+            report.failures.extend(failures)
+            if record is not None:
+                report.records.append(record)
         if report.records and not any_txn:
             report.failures.append(
                 "no reference run deployed anything — the sweep never "

@@ -1,0 +1,253 @@
+"""Trace-compilation fast path: equivalence, patch-under-trace, invalidation.
+
+The compiled fast path is an *optimization*, never a semantics change:
+every test here runs the same program with the JIT enabled and disabled
+and demands bit-identical architectural state — registers, predicates,
+loop counters, cycle/retirement counters, branch history.  The
+patch-under-trace tests drive the contract COBRA's live rewriting
+relies on: a patch landing inside a compiled loop must deoptimize it
+via the decode journal before the stale trace can run again, and a
+byte-identical rollback must restore the original behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from repro.config import itanium2_smp
+from repro.cpu import Machine, Scheduler
+from repro.cpu.tracejit import DEOPT_REASONS, HOT_THRESHOLD, MAX_TRACE_BUNDLES
+from repro.isa import assemble
+from repro.isa.instructions import Instruction, Op
+from repro.workloads import build_daxpy
+
+
+def _arch_state(core):
+    """Everything the generic interpreter and the fast path must agree on."""
+    regs = core.regs
+    return (
+        tuple(regs.read_gr(r) for r in range(64)),
+        tuple(regs.read_fr(f) for f in range(64)),
+        tuple(regs.read_pr(p) for p in range(64)),
+        regs.lc, regs.ec, regs.rrb_gr, regs.rrb_fr, regs.rrb_pr,
+        core.pc, core.cycles, core.retired, core.bundles_executed,
+        core.taken_branches, tuple(core.btb),
+    )
+
+
+def _run(src: str, jit: bool):
+    machine = Machine(itanium2_smp(1))
+    image = assemble(src)
+    machine.load_image(image)
+    core = machine.cores[0]
+    core.jit_enabled = jit
+    core.start(image.base)
+    Scheduler(machine.cores).run_until_halt(1_000_000)
+    return core, machine
+
+
+def _assert_equivalent(src: str, expect_compile: bool = True):
+    ref, ref_machine = _run(src, jit=False)
+    fast, fast_machine = _run(src, jit=True)
+    assert _arch_state(ref) == _arch_state(fast)
+    assert (
+        ref_machine.aggregate_events().snapshot()
+        == fast_machine.aggregate_events().snapshot()
+    )
+    assert ref.trace_jit.compiles == 0
+    if expect_compile:
+        stats = fast.trace_jit.stats()
+        assert stats["compiles"] >= 1
+        assert stats["iterations"] > 0
+        assert stats["compiled_bundles"] > 0
+    return fast
+
+
+CTOP_SRC = """
+clrrrb
+alloc rot=8
+mov pr.rot=0x10000
+mov ar.lc=199
+mov ar.ec=3
+mov r1=0
+mov r2=0
+.loop:
+(p16) add r1=1,r1
+(p16) add r32=2,r1
+(p18) add r2=1,r2
+br.ctop.sptk .loop
+halt
+"""
+
+CLOOP_SRC = """
+mov ar.lc=299
+mov r1=0
+.loop:
+add r1=2,r1
+br.cloop.sptk .loop
+halt
+"""
+
+WTOP_SRC = """
+mov r1=0
+mov r2=0
+mov ar.ec=1
+.loop:
+cmp.lt p6,p7=r1,150
+(p6) add r1=1,r1
+(p6) add r2=3,r2
+(p6) br.wtop.sptk .loop
+halt
+"""
+
+
+class TestEquivalence:
+    def test_ctop_pipeline_with_epilog(self):
+        fast = _assert_equivalent(CTOP_SRC)
+        assert fast.regs.read_gr(1) == 200
+
+    def test_cloop(self):
+        fast = _assert_equivalent(CLOOP_SRC)
+        assert fast.regs.read_gr(1) == 600
+
+    def test_wtop(self):
+        fast = _assert_equivalent(WTOP_SRC)
+        assert fast.regs.read_gr(1) == 150
+
+    def test_cold_loop_never_compiles(self):
+        # fewer back-edges than the hot threshold: the generic
+        # interpreter handles everything and nothing is compiled
+        src = CLOOP_SRC.replace("ar.lc=299", f"ar.lc={HOT_THRESHOLD - 2}")
+        fast = _assert_equivalent(src, expect_compile=False)
+        assert fast.trace_jit.compiles == 0
+
+    def test_overlong_loop_blacklisted_not_miscompiled(self):
+        filler = "\n".join(
+            f"add r{2 + (i % 6)}=1,r{2 + (i % 6)}"
+            for i in range(3 * (MAX_TRACE_BUNDLES + 2))
+        )
+        src = (
+            "mov ar.lc=99\nmov r1=0\n.loop:\n"
+            f"{filler}\nadd r1=1,r1\nbr.cloop.sptk .loop\nhalt\n"
+        )
+        fast = _assert_equivalent(src, expect_compile=False)
+        assert fast.trace_jit.compiles == 0
+        assert fast.trace_jit.blacklist
+
+    def test_daxpy_memory_loop(self):
+        # ld/st/float path through a real workload, end to end
+        def run(jit):
+            machine = Machine(itanium2_smp(2, scale=4))
+            for core in machine.cores:
+                core.jit_enabled = jit
+            prog = build_daxpy(machine, 1024, 2, outer_reps=4)
+            result = prog.run()
+            return result, machine
+
+        ref, _ = run(False)
+        fast, machine = run(True)
+        assert ref.cycles == fast.cycles
+        assert ref.retired == fast.retired
+        assert ref.events.snapshot() == fast.events.snapshot()
+        assert sum(c.trace_jit.compiles for c in machine.cores) >= 1
+        assert sum(c.trace_jit.iters for c in machine.cores) > 0
+
+
+class _SplitRun:
+    """Drive the same program through identical run-slice boundaries so a
+    mid-run patch lands at the exact same bundle count with and without
+    the JIT — the only way 'bit-identical' is even well-defined."""
+
+    def __init__(self, src: str, jit: bool):
+        self.machine = Machine(itanium2_smp(1))
+        self.image = assemble(src)
+        self.machine.load_image(self.image)
+        self.core = self.machine.cores[0]
+        self.core.jit_enabled = jit
+        self.core.start(self.image.base)
+
+    def run(self, bundles: int):
+        self.core.run(bundles)
+        return self
+
+    def finish(self):
+        while not self.core.halted:
+            self.core.run(65536)
+        return self.core
+
+
+def _patched_add(imm: int) -> Instruction:
+    return Instruction(Op.ADDI, r1=1, r2=1, imm=imm)
+
+
+class TestPatchUnderTrace:
+    SRC = CLOOP_SRC  # body bundle: slot 0 `add r1=2,r1`, slot 1 back-edge
+
+    def _loop_head(self, image) -> int:
+        return image.labels[".loop"]
+
+    def test_trace_resident_before_patch(self):
+        run = _SplitRun(self.SRC, jit=True).run(120)
+        head = self._loop_head(run.image)
+        assert head in run.core.trace_jit.traces
+        assert run.core.trace_jit.entries >= 1
+
+    def test_patch_while_resident_deoptimizes_bit_identical(self):
+        def scenario(jit):
+            run = _SplitRun(self.SRC, jit=jit).run(120)
+            run.image.patch_slot(
+                self._loop_head(run.image), 0, _patched_add(5), reason="test"
+            )
+            return run, run.finish()
+
+        run_fast, fast = scenario(True)
+        _, ref = scenario(False)
+        assert fast.trace_jit.invalidations >= 1
+        assert _arch_state(ref) == _arch_state(fast)
+        # prefix ran at +2/iter, the patched remainder at +5/iter
+        assert fast.regs.read_gr(1) == ref.regs.read_gr(1)
+        assert fast.regs.read_gr(1) > 0
+        # after re-proving hot, the *patched* body compiles again
+        assert fast.trace_jit.compiles >= 2
+
+    def test_patch_plus_rollback_bit_identical(self):
+        def scenario(jit):
+            run = _SplitRun(self.SRC, jit=jit).run(120)
+            head = self._loop_head(run.image)
+            run.image.patch_slot(head, 0, _patched_add(9), reason="test")
+            run.run(90)  # execute some patched iterations
+            run.image.revert_patch(run.image.patches[-1])
+            return run.finish()
+
+        fast = scenario(True)
+        ref = scenario(False)
+        assert _arch_state(ref) == _arch_state(fast)
+        # patch invalidated the original trace; the rollback invalidated
+        # the recompiled patched trace in turn
+        assert fast.trace_jit.invalidations >= 1
+
+    def test_immediate_rollback_keeps_trace(self):
+        # patch + byte-identical revert before any further execution:
+        # the journal epoch bumps, but the content keys still match, so
+        # the resident trace survives (no deopt, no recompile)
+        run = _SplitRun(self.SRC, jit=True).run(120)
+        head = self._loop_head(run.image)
+        before = run.core.trace_jit.compiles
+        run.image.patch_slot(head, 0, _patched_add(9), reason="test")
+        run.image.revert_patch(run.image.patches[-1])
+        core = run.finish()
+        assert core.trace_jit.invalidations == 0
+        assert core.trace_jit.compiles == before
+        assert core.regs.read_gr(1) == 600  # identical to the unpatched run
+
+
+class TestObservability:
+    def test_stats_shape_and_deopt_reasons(self):
+        fast, _ = _run(CLOOP_SRC, jit=True)
+        stats = fast.trace_jit.stats()
+        assert set(stats) == {
+            "compiles", "invalidations", "entries", "iterations",
+            "compiled_bundles", "deopts",
+        }
+        assert set(stats["deopts"]) == set(DEOPT_REASONS)
+        # the loop eventually exits through the back-edge falling through
+        assert stats["deopts"]["loop-exit"] >= 1
+        assert stats["iterations"] >= stats["entries"] > 0

@@ -15,7 +15,7 @@ CASE_KEYS = {
     "id", "benchmark", "machine", "strategy", "threads", "scale",
     "wall_s", "wall_s_median", "sim_cycles", "retired", "pmu_samples",
     "cycles_per_sec", "retired_per_sec", "samples_per_sec",
-    "digest", "events",
+    "digest", "events", "fastpath",
 }
 
 
