@@ -1,0 +1,65 @@
+"""Regenerate ``benchmarks/fuzz/corpus.json``.
+
+Scans generator seeds in order and keeps the first 50 whose scenarios
+jointly cover every loop class in both JIT regimes — "JIT-eligible"
+meaning the adaptive axis actually compiled at least one trace (the
+scenario's per-phase trip counts crossed the 16 back-edge hot-loop
+threshold), "JIT-ineligible" meaning it never did.  Every kept entry
+must already be divergence-free; the committed corpus is the frozen
+regression baseline that tests/fuzz/test_corpus.py replays.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fuzz/make_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.fuzz.differ import run_scenario
+from repro.fuzz.generator import LOOP_CLASSES, generate_params
+
+TARGET = 50
+OUT = os.path.join(os.path.dirname(__file__), "corpus.json")
+
+
+def main() -> None:
+    entries = []
+    covered: set[tuple[str, bool]] = set()
+    wanted = {(cls, jit) for cls in LOOP_CLASSES for jit in (True, False)}
+    seed = 0
+    while len(entries) < TARGET:
+        params = generate_params(seed)
+        result = run_scenario(params)
+        if not result.ok:
+            raise SystemExit(
+                f"seed {seed} diverges; fix the framework before freezing a corpus"
+            )
+        cell = (params.loop_class, result.compiles > 0)
+        # prioritize unseen cells; afterwards take seeds in order
+        if cell in wanted - covered or len(covered) == len(wanted):
+            covered.add(cell)
+            entries.append(
+                {
+                    "seed": params.seed,
+                    "fault_seed": params.fault_seed,
+                    "loop_class": params.loop_class,
+                    "jit_eligible": result.compiles > 0,
+                }
+            )
+        seed += 1
+        if seed > 2000:
+            raise SystemExit(f"coverage stalled; missing cells: {wanted - covered}")
+    missing = wanted - covered
+    if missing:
+        raise SystemExit(f"corpus incomplete; missing cells: {missing}")
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump({"entries": entries}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT}: {len(entries)} entries, {len(covered)} coverage cells")
+
+
+if __name__ == "__main__":
+    main()

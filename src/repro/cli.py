@@ -396,6 +396,73 @@ def _cmd_recovery(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_fuzz(args) -> int:
+    # deferred: the fuzz package pulls in the whole runtime stack
+    from .fuzz import DifferentialFuzzer, shrink
+    from .fuzz.report import repro_command
+
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
+    if args.fault_seed is not None and args.replay is None:
+        print(
+            "repro: error: --fault-seed requires --replay "
+            "(outside a replay the generator draws the fault seed)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fault_seed is not None and args.fault_seed < 0:
+        print(
+            f"repro: error: --fault-seed must be >= 0, got {args.fault_seed}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1:
+        print(f"repro: error: --seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        fuzzer = DifferentialFuzzer(
+            seeds=[args.replay], fault_seed=args.fault_seed
+        )
+    elif args.corpus:
+        try:
+            with open(args.corpus, encoding="utf-8") as fh:
+                corpus = json.load(fh)
+            pairs = [
+                (int(entry["seed"]), int(entry["fault_seed"]))
+                for entry in corpus["entries"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"repro: error: bad corpus {args.corpus!r}: {exc}", file=sys.stderr)
+            return 2
+        fuzzer = DifferentialFuzzer(pairs=pairs)
+    else:
+        fuzzer = DifferentialFuzzer(seeds=range(args.start, args.start + args.seeds))
+
+    report = fuzzer.run(jobs=args.jobs)
+    print(report.summary(verbose=args.verbose))
+
+    if not report.ok and args.shrink:
+        shrunk = 0
+        for result in report.results:
+            if result.ok or shrunk >= args.max_shrinks:
+                continue
+            shrunk += 1
+            outcome = shrink(result.params)
+            print(f"shrink[seed={result.params.seed}]: {outcome.summary()}")
+            print(
+                "  replay: "
+                + repro_command(outcome.params.seed, outcome.params.fault_seed)
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args) -> int:
     bad = _bad_jobs(args.jobs)
     if bad is not None:
@@ -609,6 +676,58 @@ def _parser() -> argparse.ArgumentParser:
     )
     recovery.set_defaults(func=_cmd_recovery)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: run seeded generated kernels across "
+        "every must-agree axis (adaptive/none, JIT on/off, faulted/clean, "
+        "checkpoint-resume/straight) and report bit-equality divergences",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25, metavar="N",
+        help="number of generator seeds to sweep (seeds start..start+N-1)",
+    )
+    fuzz.add_argument(
+        "--start", type=int, default=0, metavar="SEED",
+        help="first generator seed of the sweep",
+    )
+    fuzz.add_argument(
+        "--replay", type=int, default=None, metavar="SEED",
+        help="re-run exactly one generator seed (pair with --fault-seed "
+        "to replay a reported divergence)",
+    )
+    fuzz.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="override the fault schedule seed (only with --replay)",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="PATH",
+        help="run the (seed, fault_seed) pairs of a corpus JSON file "
+        "instead of a seed range",
+    )
+    fuzz.add_argument(
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
+        help="minimize diverging scenarios toward the smallest failing kernel",
+    )
+    fuzz.add_argument(
+        "--max-shrinks", type=int, default=3, metavar="N",
+        help="shrink at most N diverging scenarios (each shrink re-runs "
+        "the axis sweep many times)",
+    )
+    fuzz.add_argument(
+        "--verbose", action=argparse.BooleanOptionalAction, default=True,
+        help="print one line per scenario (divergences always print)",
+    )
+    fuzz.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full JSON report here",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan scenarios over N worker processes "
+        "(reports are byte-identical at any N)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+
     bench = sub.add_parser(
         "bench",
         help="time the simulator hot path and write BENCH_perf.json",
@@ -674,6 +793,9 @@ def _validate_env() -> str | None:
     ckpt = os.environ.get("REPRO_CHECKPOINT", "").strip()
     if ckpt and os.path.exists(ckpt) and not os.path.isdir(ckpt):
         return f"REPRO_CHECKPOINT must name a checkpoint directory, got {ckpt!r}"
+    jit = os.environ.get("REPRO_TRACE_JIT", "").strip()
+    if jit and jit not in ("0", "1"):
+        return f"REPRO_TRACE_JIT must be '0' or '1', got {jit!r}"
     return None
 
 

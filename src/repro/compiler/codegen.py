@@ -280,10 +280,19 @@ class KernelCompiler:
         # the in-loop lfetches are nullified outside the intended range
         # ("one more register, one more compare ... per stream")
         conditional = plan.enabled and plan.conditional
+        # pointers live in r2..r(1+k); limits in r(2+k)..r(1+2k).  Both
+        # must fit the scratch window r2..r15 — a kernel wide enough to
+        # overflow it (k > 7) falls back to unconditional prefetching
+        # rather than spilling limit registers into the parameter window.
+        if conditional and 2 * k > 14:
+            conditional = False
+        limit_base = 2 + k
         if conditional:
             for j, reg in enumerate(pf_regs):
                 em.emit(
-                    Instruction(Op.SHLADD, r1=8 + j, r2=_PARAM_BASE, imm=3, r3=reg)
+                    Instruction(
+                        Op.SHLADD, r1=limit_base + j, r2=_PARAM_BASE, imm=3, r3=reg
+                    )
                 )
 
         # prologue prefetches cover the head of every stream's chunk —
@@ -344,7 +353,10 @@ class KernelCompiler:
                 for j in range(k):
                     if conditional:
                         em.emit(
-                            Instruction(Op.CMP_LT, qp=16, r1=6, r2=7, r3=2 + j, r4=8 + j)
+                            Instruction(
+                                Op.CMP_LT, qp=16, r1=6, r2=7, r3=2 + j,
+                                r4=limit_base + j,
+                            )
                         )
                         em.emit(
                             Instruction(

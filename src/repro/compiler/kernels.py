@@ -23,6 +23,8 @@ visible to all of them.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 
 from ..errors import CompilerError
@@ -36,7 +38,31 @@ __all__ = [
     "ComputeLoop",
     "IntSumLoop",
     "KernelTemplate",
+    "MAX_SHIFT",
 ]
+
+#: Largest element offset a template may encode.  Shifts become part of
+#: the register calling convention (``addr`` params are precomputed as
+#: ``base + 8*(chunk_start+shift)``), so a bound here is what lets a
+#: generator reason about halo allocation instead of chasing wild
+#: addresses into unrelated arrays.
+MAX_SHIFT = 1 << 20
+
+
+def _check_name(owner: str, what: str, name: object) -> None:
+    """Template names and array names become labels and allocation keys;
+    reject anything that cannot round-trip through the assembler text."""
+    if not isinstance(name, str) or not name:
+        raise CompilerError(f"{owner}: {what} must be a non-empty string, got {name!r}")
+    if any(ch.isspace() for ch in name):
+        raise CompilerError(f"{owner}: {what} {name!r} contains whitespace")
+
+
+def _check_shift(owner: str, shift: object) -> None:
+    if not isinstance(shift, int) or isinstance(shift, bool):
+        raise CompilerError(f"{owner}: shift must be an integer, got {shift!r}")
+    if abs(shift) > MAX_SHIFT:
+        raise CompilerError(f"{owner}: shift {shift} out of range (|shift| <= {MAX_SHIFT})")
 
 
 @dataclass(frozen=True)
@@ -46,6 +72,12 @@ class Term:
     array: str
     coef: float = 1.0
     shift: int = 0  # element offset relative to the loop index
+
+    def __post_init__(self) -> None:
+        _check_name("Term", "array", self.array)
+        if not isinstance(self.coef, (int, float)) or not math.isfinite(self.coef):
+            raise CompilerError(f"Term({self.array}): coef must be finite, got {self.coef!r}")
+        _check_shift(f"Term({self.array})", self.shift)
 
 
 @dataclass(frozen=True)
@@ -63,6 +95,10 @@ class StreamLoop:
     scale: str | None = None
 
     def __post_init__(self) -> None:
+        _check_name("StreamLoop", "name", self.name)
+        _check_name(self.name, "dest", self.dest)
+        if self.scale is not None:
+            _check_name(self.name, "scale", self.scale)
         if not self.terms:
             raise CompilerError(f"{self.name}: StreamLoop needs at least one term")
         if len(self.terms) > 8:
@@ -94,6 +130,12 @@ class ReduceLoop:
     src_a: str
     src_b: str | None = None
 
+    def __post_init__(self) -> None:
+        _check_name("ReduceLoop", "name", self.name)
+        _check_name(self.name, "src_a", self.src_a)
+        if self.src_b is not None:
+            _check_name(self.name, "src_b", self.src_b)
+
     @property
     def streams(self) -> tuple[str, ...]:
         if self.src_b is None or self.src_b == self.src_a:
@@ -117,6 +159,17 @@ class GatherLoop:
     x: str = "x"
     y: str = "y"
 
+    def __post_init__(self) -> None:
+        _check_name("GatherLoop", "name", self.name)
+        roles = {"ptr": self.ptr, "col": self.col, "val": self.val, "x": self.x, "y": self.y}
+        for role, arr in roles.items():
+            _check_name(self.name, role, arr)
+        if len(set(roles.values())) != len(roles):
+            raise CompilerError(
+                f"{self.name}: GatherLoop roles must name five distinct arrays, "
+                f"got {tuple(roles.values())!r}"
+            )
+
 
 @dataclass(frozen=True)
 class IntSumLoop:
@@ -131,10 +184,15 @@ class IntSumLoop:
     sources: tuple[tuple[str, int], ...]
 
     def __post_init__(self) -> None:
+        _check_name("IntSumLoop", "name", self.name)
+        _check_name(self.name, "dest", self.dest)
         if not self.sources:
             raise CompilerError(f"{self.name}: IntSumLoop needs at least one source")
         if len(self.sources) > 10:
             raise CompilerError(f"{self.name}: too many sources (max 10)")
+        for arr, shift in self.sources:
+            _check_name(self.name, "source array", arr)
+            _check_shift(f"{self.name}[{arr}]", shift)
 
     @property
     def streams(self) -> tuple[str, ...]:
@@ -151,6 +209,13 @@ class HistogramLoop:
     key: str = "key"
     cnt: str = "cnt"
 
+    def __post_init__(self) -> None:
+        _check_name("HistogramLoop", "name", self.name)
+        _check_name(self.name, "key", self.key)
+        _check_name(self.name, "cnt", self.cnt)
+        if self.key == self.cnt:
+            raise CompilerError(f"{self.name}: key and cnt must be distinct arrays")
+
 
 @dataclass(frozen=True)
 class ComputeLoop:
@@ -161,6 +226,9 @@ class ComputeLoop:
     flops_per_iter: int = 4
 
     def __post_init__(self) -> None:
+        _check_name("ComputeLoop", "name", self.name)
+        if not isinstance(self.flops_per_iter, int) or isinstance(self.flops_per_iter, bool):
+            raise CompilerError(f"{self.name}: flops_per_iter must be an integer")
         if not 1 <= self.flops_per_iter <= 16:
             raise CompilerError(f"{self.name}: flops_per_iter out of range")
 

@@ -1,0 +1,33 @@
+"""Seeded differential fuzzing of the compiler + runtime + optimizer stack.
+
+``repro.fuzz`` samples the :mod:`repro.compiler.kernels` template space
+into small, deterministic multithreaded scenarios and executes each one
+across every axis that must agree bit-for-bit:
+
+* adaptive COBRA vs no runtime optimization at all,
+* trace-JIT enabled vs disabled,
+* faulted (seeded ``repro.faults`` schedule) vs clean,
+* checkpoint / crash / resume vs straight-through.
+
+Any disagreement is a *divergence* and reproduces from two integers —
+the ``(generator_seed, fault_seed)`` pair printed in the report.
+"""
+
+from .generator import ScenarioParams, generate_params
+from .driver import build_scenario, scenario_machine
+from .differ import DifferentialFuzzer, run_scenario
+from .shrinker import shrink
+from .report import Divergence, FuzzReport, ScenarioResult
+
+__all__ = [
+    "ScenarioParams",
+    "generate_params",
+    "build_scenario",
+    "scenario_machine",
+    "DifferentialFuzzer",
+    "run_scenario",
+    "shrink",
+    "Divergence",
+    "FuzzReport",
+    "ScenarioResult",
+]

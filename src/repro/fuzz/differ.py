@@ -1,0 +1,285 @@
+"""Differential execution of one scenario across all must-agree axes.
+
+Every generated scenario is executed seven times, each on a fresh
+machine with an identical program build:
+
+1. ``none``      — plain interpreter, no COBRA (ground truth);
+2. ``adaptive``  — COBRA adaptive, trace JIT on, HPM samples captured;
+3. ``jit-off``   — identical but with the trace JIT disabled on every
+   core; must match axis 2 *fully* — output bytes, cycles, retired
+   instructions, memory-event counters, and the captured HPM sample
+   stream (the JIT is a fast path, never a semantics or timing change);
+4. ``faulted``   — adaptive under a seeded fault schedule
+   (``fault_seed``); outputs must match ground truth and the fault
+   ledger must be fully accounted;
+5. ``ckpt``      — adaptive persisting to a fresh in-memory checkpoint
+   store, straight through;
+6. a crash run killed at the midpoint durable write of axis 5's store;
+7. ``resume``    — warm restart from the crashed store; outputs must
+   match the straight-through run and the recovery ledger must account
+   every discarded artifact.
+
+``run_scenario`` is a module-level pure function of its params so the
+sweep fans out over :func:`repro.parallel.run_tasks` and the report
+merges in submission order — byte-identical at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..config import FaultConfig, PersistConfig
+from ..cpu.scheduler import Scheduler
+from ..errors import SimulatedCrash
+from ..hpm.sample import Sample
+from ..persist.journal import MemoryDisk
+from ..validate.differential import _digest, _snapshot_arrays
+from ..validate.recovery import zero_rate_faults
+from .driver import build_scenario, scenario_machine
+from .generator import ScenarioParams, generate_params
+from .report import Divergence, FuzzReport, ScenarioResult
+
+__all__ = ["DifferentialFuzzer", "run_scenario", "RunObservables"]
+
+#: Moderate rates for the faulted axis — enough injections to exercise
+#: detection/tolerance paths on a tiny run without drowning it.
+FAULT_RATES = dict(sample_rate=0.05, patch_rate=0.3, loop_rate=0.1)
+
+#: Runaway backstop: generated scenarios finish in well under this.
+MAX_BUNDLES = 3_000_000
+
+
+@dataclass(frozen=True)
+class RunObservables:
+    """Everything one axis run exposes for bit-equality comparison."""
+
+    digest: str
+    cycles: int
+    retired: int
+    events: tuple[tuple[str, int], ...]
+    n_samples: int
+    samples_sha: str
+    compiles: int
+    ledger_accounted: bool | None   # None = no injector armed
+    durable_ops: int = 0
+
+
+def _sample_key(s: Sample) -> str:
+    return (
+        f"{s.index},{s.pc},{s.pid},{s.thread_id},{s.cpu_id},"
+        f"{s.counters},{s.btb},{s.miss_pc},{s.miss_latency},{s.miss_addr},{s.cycles}"
+    )
+
+
+def _samples_sha(samples: list[Sample]) -> str:
+    h = hashlib.sha256()
+    for s in samples:
+        h.update(_sample_key(s).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _run_axis(
+    params: ScenarioParams,
+    *,
+    cobra: bool,
+    jit: bool,
+    faults: FaultConfig | None = None,
+    disk: MemoryDisk | None = None,
+) -> RunObservables:
+    """One differential cell: fresh machine, fresh build, one execution."""
+    # deferred: repro.core imports repro.validate at module scope
+    from ..core.framework import Cobra
+
+    machine = scenario_machine(params)
+    prog = build_scenario(params, machine)
+    # the per-core JIT default tracks REPRO_TRACE_JIT at import; force it
+    # per axis so the sweep is environment-independent
+    for core in machine.cores:
+        core.jit_enabled = jit
+
+    captured: list[Sample] = []
+    ledger_accounted: bool | None = None
+    durable_ops = 0
+    if not cobra:
+        result = prog.run(max_bundles=MAX_BUNDLES)
+        compiles = 0
+    else:
+        config = machine.config.cobra
+        if faults is not None:
+            config = replace(config, faults=faults)
+        if disk is not None:
+            config = replace(config, persist=PersistConfig(disk=disk))
+        engine = Cobra(machine, prog.image, "adaptive", config)
+        for monitor in engine.monitors:
+            monitor.drain = _TappedDrain(monitor.drain, captured)
+        scheduler = Scheduler([th.core for th in prog.threads])
+        engine.install(scheduler)
+        try:
+            result = prog.run(max_bundles=MAX_BUNDLES, scheduler=scheduler)
+        finally:
+            engine.stop()
+        for monitor in engine.monitors:
+            captured.extend(monitor.usb)   # stragglers never drained
+        report = engine.report()
+        compiles = (report.fastpath or {}).get("compiles", 0)
+        if report.faults is not None:
+            ledger_accounted = report.faults.accounted
+        if disk is not None:
+            durable_ops = disk.durable_ops
+    arrays = _snapshot_arrays(prog)
+    return RunObservables(
+        digest=_digest(arrays),
+        cycles=result.cycles,
+        retired=result.retired,
+        events=tuple(sorted(result.events.snapshot().items())),
+        n_samples=len(captured),
+        samples_sha=_samples_sha(captured),
+        compiles=compiles,
+        ledger_accounted=ledger_accounted,
+        durable_ops=durable_ops,
+    )
+
+
+class _TappedDrain:
+    """Wraps ``MonitoringThread.drain`` to record every delivered sample."""
+
+    def __init__(self, inner, sink: list) -> None:
+        self._inner = inner
+        self._sink = sink
+
+    def __call__(self) -> list:
+        out = self._inner()
+        self._sink.extend(out)
+        return out
+
+
+def run_scenario(params: ScenarioParams) -> ScenarioResult:
+    """Execute the full axis sweep for one scenario."""
+    seed, fault_seed = params.seed, params.fault_seed
+    divergences: list[Divergence] = []
+    digests: list[tuple[str, str]] = []
+    obs: dict[str, RunObservables] = {}
+
+    def diverge(axis: str, observable: str, expected: object, actual: object) -> None:
+        divergences.append(
+            Divergence(
+                seed=seed,
+                fault_seed=fault_seed,
+                axis=axis,
+                observable=observable,
+                expected=str(expected),
+                actual=str(actual),
+            )
+        )
+
+    def attempt(axis: str, **kwargs) -> RunObservables | None:
+        try:
+            out = _run_axis(params, **kwargs)
+        except Exception as exc:  # noqa: BLE001 — any escape is a finding
+            diverge(axis, "exception", "no exception", f"{type(exc).__name__}: {exc}")
+            return None
+        obs[axis] = out
+        digests.append((axis, out.digest))
+        return out
+
+    none = attempt("none", cobra=False, jit=True)
+    adaptive = attempt("adaptive", cobra=True, jit=True)
+    if none and adaptive and adaptive.digest != none.digest:
+        diverge("adaptive vs none", "digest", none.digest, adaptive.digest)
+
+    nojit = attempt("jit-off", cobra=True, jit=False)
+    if adaptive and nojit:
+        for observable in ("digest", "cycles", "retired", "events",
+                           "n_samples", "samples_sha"):
+            want, got = getattr(adaptive, observable), getattr(nojit, observable)
+            if want != got:
+                diverge("jit-off vs jit-on", observable, want, got)
+
+    faulted = attempt(
+        "faulted", cobra=True, jit=True,
+        faults=FaultConfig(seed=fault_seed, **FAULT_RATES),
+    )
+    if faulted:
+        if none and faulted.digest != none.digest:
+            diverge("faulted vs clean", "digest", none.digest, faulted.digest)
+        if faulted.ledger_accounted is False:
+            diverge("faulted vs clean", "ledger", "accounted", "unaccounted")
+
+    straight_disk = MemoryDisk()
+    straight = attempt(
+        "ckpt", cobra=True, jit=True,
+        faults=zero_rate_faults(fault_seed), disk=straight_disk,
+    )
+    if straight:
+        if none and straight.digest != none.digest:
+            diverge("checkpoint vs none", "digest", none.digest, straight.digest)
+        crash_disk = MemoryDisk()
+        crash_write = max(1, straight.durable_ops // 2)
+        crash_faults = replace(
+            zero_rate_faults(fault_seed),
+            crash_write=crash_write, crash_torn_bytes=7,
+        )
+        store_usable = True
+        try:
+            _run_axis(params, cobra=True, jit=True, faults=crash_faults,
+                      disk=crash_disk)
+            diverge("crash", "exception", "SimulatedCrash",
+                    f"run completed past durable write {crash_write}")
+        except SimulatedCrash:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            store_usable = False
+            diverge("crash", "exception", "SimulatedCrash",
+                    f"{type(exc).__name__}: {exc}")
+        if store_usable:
+            resumed = attempt(
+                "resume", cobra=True, jit=True,
+                faults=zero_rate_faults(fault_seed), disk=crash_disk,
+            )
+            if resumed:
+                if resumed.digest != straight.digest:
+                    diverge("resume vs straight-through", "digest",
+                            straight.digest, resumed.digest)
+                if resumed.ledger_accounted is False:
+                    diverge("resume vs straight-through", "ledger",
+                            "accounted", "unaccounted")
+
+    return ScenarioResult(
+        params=params,
+        digests=tuple(digests),
+        divergences=tuple(divergences),
+        samples=obs["adaptive"].n_samples if "adaptive" in obs else 0,
+        compiles=obs["adaptive"].compiles if "adaptive" in obs else 0,
+    )
+
+
+class DifferentialFuzzer:
+    """Fans scenarios over worker processes; merges in submission order."""
+
+    def __init__(
+        self,
+        seeds: Iterable[int] | None = None,
+        pairs: Sequence[tuple[int, int]] | None = None,
+        fault_seed: int | None = None,
+    ) -> None:
+        if pairs is not None:
+            self.params = [
+                generate_params(s, fault_seed=f) for s, f in pairs
+            ]
+        else:
+            self.params = [
+                generate_params(s, fault_seed=fault_seed) for s in (seeds or ())
+            ]
+
+    def run(self, jobs: int = 1) -> FuzzReport:
+        from ..parallel import run_tasks
+
+        outcomes = run_tasks(
+            [(run_scenario, (p,)) for p in self.params], jobs=jobs
+        )
+        report = FuzzReport()
+        report.results.extend(outcomes)
+        return report

@@ -1,0 +1,116 @@
+"""Structured fuzz outcomes and the deterministic report.
+
+The report contains no timestamps, paths, or timing — its ``summary()``
+bytes depend only on the scenario outcomes, which is what makes
+``repro fuzz --jobs 1`` and ``--jobs 8`` byte-identical (the same
+contract the differential and chaos harnesses keep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .generator import ScenarioParams, describe
+
+__all__ = ["Divergence", "ScenarioResult", "FuzzReport", "repro_command"]
+
+
+def repro_command(seed: int, fault_seed: int) -> str:
+    """The minimized replay command for one divergence."""
+    return f"python -m repro fuzz --replay {seed} --fault-seed {fault_seed}"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One broken bit-equality between two axes of one scenario."""
+
+    seed: int
+    fault_seed: int
+    axis: str        # e.g. "adaptive vs none", "jit-off vs jit-on"
+    observable: str  # "digest", "cycles", "samples", "exception", ...
+    expected: str
+    actual: str
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} fault_seed={self.fault_seed} [{self.axis}] "
+            f"{self.observable}: expected {self.expected}, got {self.actual}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario's full axis sweep (picklable)."""
+
+    params: ScenarioParams
+    digests: tuple[tuple[str, str], ...]       # (axis, digest) in run order
+    divergences: tuple[Divergence, ...]
+    samples: int = 0        # HPM samples captured on the adaptive axis
+    compiles: int = 0       # trace-JIT compiles on the adaptive axis
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def line(self) -> str:
+        status = "OK" if self.ok else f"FAIL({len(self.divergences)})"
+        return (
+            f"fuzz[seed={self.params.seed}] {describe(self.params)}: "
+            f"{len(self.digests)} axes, {status}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing sweep, merged in submission order."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> list[Divergence]:
+        return [d for r in self.results for d in r.divergences]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def summary(self, verbose: bool = True) -> str:
+        n_div = len(self.divergences)
+        lines = [
+            f"fuzz: {len(self.results)} scenario(s), "
+            f"{sum(len(r.digests) for r in self.results)} differential run(s), "
+            f"{n_div} divergence(s), {'OK' if self.ok else 'FAIL'}"
+        ]
+        for result in self.results:
+            if verbose or not result.ok:
+                lines.append(f"  {result.line()}")
+            for div in result.divergences:
+                lines.append(f"    DIVERGENCE {div.describe()}")
+                lines.append(f"    repro: {repro_command(div.seed, div.fault_seed)}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "scenarios": [
+                {
+                    "seed": r.params.seed,
+                    "fault_seed": r.params.fault_seed,
+                    "description": describe(r.params),
+                    "digests": dict(r.digests),
+                    "samples": r.samples,
+                    "compiles": r.compiles,
+                    "divergences": [
+                        {
+                            "axis": d.axis,
+                            "observable": d.observable,
+                            "expected": d.expected,
+                            "actual": d.actual,
+                            "repro": repro_command(d.seed, d.fault_seed),
+                        }
+                        for d in r.divergences
+                    ],
+                }
+                for r in self.results
+            ],
+        }

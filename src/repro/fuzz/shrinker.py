@@ -1,0 +1,107 @@
+"""Greedy scenario minimization for diverging seeds.
+
+Given params whose axis sweep diverges, try reducing each template
+parameter toward its minimum — keeping a candidate only if the reduced
+scenario *still diverges* — and iterate to a fixpoint.  The result is
+the smallest failing kernel reachable by per-field reduction, printed
+with the divergence report so a human debugs a 2-thread / 1-term /
+2-element loop instead of the original scenario.
+
+The check function defaults to :func:`repro.fuzz.differ.run_scenario`;
+tests inject cheaper predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .generator import ScenarioParams, describe
+
+__all__ = ["shrink", "ShrinkResult"]
+
+#: Reduction order: biggest wall-clock levers first.
+_FIELD_CANDIDATES: tuple[tuple[str, Callable[[ScenarioParams], list]], ...] = (
+    ("reps", lambda p: [1, p.reps // 2, p.reps - 1]),
+    ("chunk", lambda p: [2, p.chunk // 2, p.chunk - 1]),
+    ("n_terms", lambda p: [1, p.n_terms // 2, p.n_terms - 1]),
+    ("nest_depth", lambda p: [1, p.nest_depth // 2, p.nest_depth - 1]),
+    ("n_threads", lambda p: [2]),
+    ("shift_span", lambda p: [0]),
+    ("prefetch_distance", lambda p: [1]),
+    ("share_boundary", lambda p: [False]),
+    ("conditional_prefetch", lambda p: [False]),
+    ("multiversion", lambda p: [False]),
+    ("prologue_prefetch", lambda p: [False]),
+    ("machine_kind", lambda p: ["smp"]),
+)
+
+
+class ShrinkResult:
+    """Outcome of one shrinking pass."""
+
+    def __init__(self, params: ScenarioParams, attempts: int, reductions: int) -> None:
+        self.params = params
+        self.attempts = attempts
+        self.reductions = reductions
+
+    def summary(self) -> str:
+        return (
+            f"shrunk to: {describe(self.params)} "
+            f"({self.reductions} reduction(s) in {self.attempts} attempt(s))"
+        )
+
+
+def _diverges_default(params: ScenarioParams) -> bool:
+    from .differ import run_scenario
+
+    return not run_scenario(params).ok
+
+
+def shrink(
+    params: ScenarioParams,
+    diverges: Callable[[ScenarioParams], bool] | None = None,
+    budget: int = 48,
+) -> ShrinkResult:
+    """Minimize ``params`` while ``diverges`` stays true.
+
+    ``budget`` caps total candidate evaluations (each one is a full
+    axis sweep with the default check) so a pathological scenario can't
+    stall a CI job.
+    """
+    check = diverges or _diverges_default
+    current = params
+    attempts = 0
+    reductions = 0
+    progress = True
+    while progress and attempts < budget:
+        progress = False
+        for field_name, candidates in _FIELD_CANDIDATES:
+            for value in candidates(current):
+                if attempts >= budget:
+                    break
+                if value == getattr(current, field_name):
+                    continue
+                try:
+                    candidate = replace(current, **{field_name: value})
+                except ValueError:
+                    continue  # e.g. invalid machine/thread combination
+                if not _valid(candidate):
+                    continue
+                attempts += 1
+                if check(candidate):
+                    current = candidate
+                    reductions += 1
+                    progress = True
+                    break  # re-derive candidates from the smaller value
+    return ShrinkResult(current, attempts, reductions)
+
+
+def _valid(params: ScenarioParams) -> bool:
+    if params.n_threads < 2 or params.chunk < 1 or params.reps < 1:
+        return False
+    if params.n_terms < 1 or params.nest_depth < 1:
+        return False
+    if params.machine_kind == "altix" and params.n_threads % 2:
+        return False
+    return True

@@ -248,7 +248,10 @@ class ParallelProgram:
             for phase, group in enumerate(self._region_groups(t)):
                 reps = reps_list[phase]
                 if reps > 1:
-                    em.emit(Instruction(Op.MOVI, r1=24, imm=reps))
+                    # r31: the only GR that must stay live across kernel
+                    # calls.  It sits above the parameter window
+                    # (r16..r27) and the barrier scratch regs (r25..r28).
+                    em.emit(Instruction(Op.MOVI, r1=31, imm=reps))
                     em.label(f".outer{t}p{phase}_{self.name}")
                 for region in group:
                     for call in region:
@@ -258,8 +261,8 @@ class ParallelProgram:
                     if barrier_entry is not None:
                         em.emit(Instruction(Op.BR_CALL, label=barrier_entry, unit="B"))
                 if reps > 1:
-                    em.emit(Instruction(Op.ADDI, r1=24, r2=24, imm=-1))
-                    em.emit(Instruction(Op.CMPI_NE, r1=6, r2=7, r3=24, imm=0))
+                    em.emit(Instruction(Op.ADDI, r1=31, r2=31, imm=-1))
+                    em.emit(Instruction(Op.CMPI_NE, r1=6, r2=7, r3=31, imm=0))
                     em.emit(
                         Instruction(
                             Op.BR_COND, qp=6, label=f".outer{t}p{phase}_{self.name}",

@@ -1,0 +1,185 @@
+"""Property tests: random in-contract templates compile and their
+emitted code round-trips through the disassembler without error;
+out-of-contract templates fail with a structured ``CompilerError`` at
+construction — never an unhandled exception deeper in codegen."""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler import (
+    ComputeLoop,
+    GatherLoop,
+    HistogramLoop,
+    IntSumLoop,
+    PrefetchPlan,
+    ReduceLoop,
+    StreamLoop,
+    Term,
+)
+from repro.compiler.kernels import MAX_SHIFT
+from repro.config import itanium2_smp
+from repro.cpu import Machine
+from repro.errors import CompilerError
+from repro.isa.disassembler import disassemble
+from repro.runtime import ParallelProgram
+
+COMMON = dict(
+    deadline=None, max_examples=40, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_names = st.sampled_from(["a", "b", "c", "u", "v", "w"])
+_coefs = st.sampled_from([1.0, -1.0, 0.5, -0.25, 2.0, 0.125])
+_shifts = st.integers(min_value=-8, max_value=8)
+_plans = st.builds(
+    PrefetchPlan,
+    distance_lines=st.integers(min_value=1, max_value=8),
+    prologue_per_stream=st.sampled_from([None, 0, 2]),
+    conditional=st.booleans(),
+)
+
+_HALO = 16
+
+
+def _compile_and_disasm(template, plan, arrays, int_arrays=(), result=False):
+    """Compile one kernel and round-trip its region through the
+    disassembler; returns the disassembly text."""
+    prog = ParallelProgram(Machine(itanium2_smp(1)), "prop")
+    for name in dict.fromkeys(arrays):
+        prog.array(name, 64 + 2 * _HALO)
+    for name in dict.fromkeys(int_arrays):
+        prog.int_array(name, 64 + 2 * _HALO)
+    raw = None
+    if result:
+        res = prog.array("__res", _HALO)
+        raw = {"result": res.base}
+    fn = prog.kernel(template, plan=plan)
+    prog.region([prog.make_call(fn, _HALO, 32, raw=raw)])
+    prog.build()
+    start, end = fn.region
+    text = disassemble(prog.image, start, end)
+    assert text.strip()
+    return text
+
+
+class TestInContract:
+    @settings(**COMMON)
+    @given(
+        terms=st.lists(
+            st.tuples(_names, _coefs, _shifts), min_size=1, max_size=8
+        ),
+        scale=st.one_of(st.none(), st.just("sc")),
+        plan=_plans,
+    )
+    def test_stream_loop_round_trips(self, terms, scale, plan):
+        template = StreamLoop(
+            "s",
+            dest="d",
+            terms=tuple(Term(n, c, s) for n, c, s in terms),
+            scale=scale,
+        )
+        arrays = ["d", *(n for n, _, _ in terms)] + ([scale] if scale else [])
+        text = _compile_and_disasm(template, plan, arrays)
+        assert "br.ctop" in text
+
+    @settings(**COMMON)
+    @given(
+        src_b=st.one_of(st.none(), st.just("b")),
+        plan=_plans,
+    )
+    def test_reduce_loop_round_trips(self, src_b, plan):
+        template = ReduceLoop("r", src_a="a", src_b=src_b)
+        _compile_and_disasm(
+            template, plan, ["a"] + (["b"] if src_b else []), result=True
+        )
+
+    @settings(**COMMON)
+    @given(
+        sources=st.lists(
+            st.tuples(_names, st.sampled_from([0, 8, -8, 16])),
+            min_size=1, max_size=10,
+        ),
+        plan=_plans,
+    )
+    def test_intsum_loop_round_trips(self, sources, plan):
+        template = IntSumLoop("m", dest="di", sources=tuple(sources))
+        _compile_and_disasm(
+            template, plan, [], int_arrays=["di", *(n for n, _ in sources)]
+        )
+
+    @settings(**COMMON)
+    @given(flops=st.integers(min_value=1, max_value=16), plan=_plans)
+    def test_compute_loop_round_trips(self, flops, plan):
+        _compile_and_disasm(ComputeLoop("c", flops_per_iter=flops), plan, [])
+
+    @settings(**COMMON)
+    @given(plan=_plans)
+    def test_gather_loop_round_trips(self, plan):
+        template = GatherLoop("g")
+        _compile_and_disasm(
+            template, plan, ["a", "x", "y"], int_arrays=["ptr", "col"]
+        )
+
+    @settings(**COMMON)
+    @given(plan=_plans)
+    def test_histogram_loop_round_trips(self, plan):
+        text = _compile_and_disasm(
+            HistogramLoop("h"), plan, [], int_arrays=["key", "cnt"]
+        )
+        assert text.strip()
+
+
+class TestOutOfContract:
+    """Invalid templates die at construction with CompilerError."""
+
+    @settings(**COMMON)
+    @given(name=st.sampled_from(["", " ", "a b", "x\t", "\n"]))
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(CompilerError):
+            StreamLoop(name, dest="d", terms=(Term("a", 1.0, 0),))
+        with pytest.raises(CompilerError):
+            StreamLoop("s", dest=name, terms=(Term("a", 1.0, 0),))
+        with pytest.raises(CompilerError):
+            Term(name, 1.0, 0)
+
+    @settings(**COMMON)
+    @given(n=st.integers(min_value=9, max_value=20))
+    def test_too_many_stream_terms_rejected(self, n):
+        with pytest.raises(CompilerError):
+            StreamLoop(
+                "s", dest="d", terms=tuple(Term(f"a{i}"[:1] + str(i), 1.0, 0) for i in range(n))
+            )
+
+    @settings(**COMMON)
+    @given(shift=st.sampled_from([MAX_SHIFT + 1, -(MAX_SHIFT + 1), 1 << 40]))
+    def test_huge_shifts_rejected(self, shift):
+        with pytest.raises(CompilerError):
+            Term("a", 1.0, shift)
+        with pytest.raises(CompilerError):
+            IntSumLoop("m", dest="d", sources=(("a", shift),))
+
+    @settings(**COMMON)
+    @given(coef=st.sampled_from([float("nan"), float("inf"), float("-inf")]))
+    def test_non_finite_coefs_rejected(self, coef):
+        with pytest.raises(CompilerError):
+            Term("a", coef, 0)
+
+    @settings(**COMMON)
+    @given(flops=st.sampled_from([-4, 0, 17, 100]))
+    def test_compute_flops_out_of_range_rejected(self, flops):
+        with pytest.raises(CompilerError):
+            ComputeLoop("c", flops_per_iter=flops)
+
+    def test_gather_duplicate_roles_rejected(self):
+        with pytest.raises(CompilerError):
+            GatherLoop("g", ptr="p", col="p", val="v", x="x", y="y")
+
+    def test_histogram_key_cnt_alias_rejected(self):
+        with pytest.raises(CompilerError):
+            HistogramLoop("h", key="k", cnt="k")
+
+    def test_bool_shift_rejected(self):
+        with pytest.raises(CompilerError):
+            Term("a", 1.0, True)

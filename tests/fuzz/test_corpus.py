@@ -1,0 +1,58 @@
+"""The committed fuzz corpus: parses, covers the template space, and
+replays divergence-free."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import DifferentialFuzzer
+from repro.fuzz.generator import LOOP_CLASSES, generate_params
+
+CORPUS = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "fuzz", "corpus.json"
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    with open(CORPUS, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestCorpusShape:
+    def test_fifty_entries(self, corpus):
+        assert len(corpus["entries"]) == 50
+
+    def test_covers_every_loop_class_in_both_jit_regimes(self, corpus):
+        cells = {
+            (e["loop_class"], e["jit_eligible"]) for e in corpus["entries"]
+        }
+        for cls in LOOP_CLASSES:
+            assert (cls, True) in cells, f"{cls}: no JIT-eligible entry"
+            assert (cls, False) in cells, f"{cls}: no JIT-ineligible entry"
+
+    def test_entries_consistent_with_generator(self, corpus):
+        # the corpus records what the generator will actually produce —
+        # if the generator changes, the corpus must be regenerated
+        for e in corpus["entries"]:
+            params = generate_params(e["seed"])
+            assert params.fault_seed == e["fault_seed"]
+            assert params.loop_class == e["loop_class"]
+
+    def test_entries_unique(self, corpus):
+        seeds = [e["seed"] for e in corpus["entries"]]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestCorpusReplay:
+    def test_corpus_compiles_and_stays_divergence_free(self, corpus):
+        pairs = [(e["seed"], e["fault_seed"]) for e in corpus["entries"]]
+        report = DifferentialFuzzer(pairs=pairs).run(jobs=2)
+        assert report.ok, report.summary(verbose=False)
+        # all six axes executed for every entry (compile + run succeeded)
+        assert all(len(r.digests) == 6 for r in report.results)
+        # and the recorded JIT-eligibility still holds
+        by_seed = {r.params.seed: r for r in report.results}
+        for e in corpus["entries"]:
+            assert (by_seed[e["seed"]].compiles > 0) == e["jit_eligible"]

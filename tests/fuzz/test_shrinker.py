@@ -1,0 +1,62 @@
+"""Shrinker unit tests with injected divergence predicates (no
+simulation — these validate the search, not the differ)."""
+
+import dataclasses
+
+from repro.fuzz.generator import generate_params
+from repro.fuzz.shrinker import shrink
+
+
+def _big_params():
+    base = generate_params(67)  # stream, 7 terms, reps=4
+    return dataclasses.replace(base, chunk=32, reps=4, n_terms=7)
+
+
+class TestShrink:
+    def test_always_diverging_predicate_reaches_minimum(self):
+        outcome = shrink(_big_params(), diverges=lambda p: True)
+        p = outcome.params
+        assert p.reps == 1 and p.chunk == 2 and p.n_terms == 1
+        assert p.n_threads == 2 and p.machine_kind == "smp"
+        assert outcome.reductions > 0
+
+    def test_never_diverging_predicate_keeps_original(self):
+        params = _big_params()
+        outcome = shrink(params, diverges=lambda p: False)
+        assert outcome.params == params
+        assert outcome.reductions == 0
+
+    def test_respects_predicate_constraints(self):
+        # divergence requires >= 4 terms: n_terms must not shrink below
+        outcome = shrink(_big_params(), diverges=lambda p: p.n_terms >= 4)
+        assert outcome.params.n_terms == 4
+        assert outcome.params.reps == 1  # everything else still minimized
+
+    def test_budget_caps_attempts(self):
+        calls = []
+
+        def check(p):
+            calls.append(p)
+            return True
+
+        outcome = shrink(_big_params(), diverges=check, budget=3)
+        assert outcome.attempts <= 3
+        assert len(calls) <= 3
+
+    def test_never_emits_invalid_params(self):
+        seen = []
+
+        def check(p):
+            seen.append(p)
+            return True
+
+        shrink(generate_params(89), diverges=check)  # altix scenario
+        for p in seen:
+            assert p.n_threads >= 2 and p.chunk >= 1 and p.reps >= 1
+            assert p.n_terms >= 1 and p.nest_depth >= 1
+            if p.machine_kind == "altix":
+                assert p.n_threads % 2 == 0
+
+    def test_summary_mentions_reduction_count(self):
+        outcome = shrink(_big_params(), diverges=lambda p: True)
+        assert f"{outcome.reductions} reduction(s)" in outcome.summary()

@@ -153,6 +153,26 @@ class TestEnvValidation:
         monkeypatch.setenv("REPRO_FAULTS", "0")
         assert main(["table1"]) == 0
 
+    def test_malformed_trace_jit(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_JIT", "yes")
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "REPRO_TRACE_JIT must be '0' or '1', got 'yes'" in err
+
+    def test_trace_jit_rejects_stray_integer(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_JIT", "2")
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "REPRO_TRACE_JIT" in err and "'2'" in err
+
+    @pytest.mark.parametrize("value", ["0", "1", "", " 1 "])
+    def test_trace_jit_accepts_valid_values(self, capsys, monkeypatch, value):
+        # unset/empty means "default on" (mirrors REPRO_FAULTS handling)
+        monkeypatch.setenv("REPRO_TRACE_JIT", value)
+        assert main(["table1"]) == 0
+
 
 class TestCheckpointCli:
     def test_checkpoint_then_resume(self, capsys, tmp_path):
@@ -190,6 +210,67 @@ class TestCheckpointCli:
         rc = main(["resume", "--checkpoint-dir", str(empty)])
         err = capsys.readouterr().err
         assert rc == 2 and "no resumable checkpoint" in err
+
+
+class TestFuzzCli:
+    """Argument validation plus a tiny smoke sweep — the full sweep and
+    the planted-divergence path live in tests/fuzz/."""
+
+    def test_bad_jobs(self, capsys):
+        rc = main(["fuzz", "--seeds", "1", "--jobs", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--jobs must be >= 1" in err
+
+    def test_fault_seed_requires_replay(self, capsys):
+        rc = main(["fuzz", "--seeds", "1", "--fault-seed", "7"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "--fault-seed requires --replay" in err
+
+    def test_negative_fault_seed(self, capsys):
+        rc = main(["fuzz", "--replay", "3", "--fault-seed", "-1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--fault-seed must be >= 0" in err
+
+    def test_bad_seed_count(self, capsys):
+        rc = main(["fuzz", "--seeds", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--seeds must be >= 1" in err
+
+    def test_missing_corpus(self, capsys, tmp_path):
+        rc = main(["fuzz", "--corpus", str(tmp_path / "nope.json")])
+        err = capsys.readouterr().err
+        assert rc == 2 and "bad corpus" in err
+
+    def test_malformed_corpus(self, capsys, tmp_path):
+        bad = tmp_path / "corpus.json"
+        bad.write_text('{"entries": [{"seed": 1}]}')
+        rc = main(["fuzz", "--corpus", str(bad)])
+        err = capsys.readouterr().err
+        assert rc == 2 and "bad corpus" in err
+
+    def test_smoke_sweep(self, capsys):
+        rc = main(["fuzz", "--seeds", "2", "--no-verbose"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fuzz: 2 scenario(s)" in out and "OK" in out
+
+    def test_replay_single_seed(self, capsys):
+        rc = main(["fuzz", "--replay", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "fuzz[seed=3]" in out
+
+    def test_out_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "report.json"
+        rc = main(["fuzz", "--replay", "3", "--out", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True
+        assert data["scenarios"][0]["seed"] == 3
+        assert len(data["scenarios"][0]["digests"]) == 6
 
 
 class TestRecoveryCli:
