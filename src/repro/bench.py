@@ -25,9 +25,10 @@ from __future__ import annotations
 import platform
 import sys
 import time
+from dataclasses import replace
 from typing import Iterable
 
-from .config import itanium2_smp, sgi_altix
+from .config import ProfileDBConfig, itanium2_smp, sgi_altix
 from .cpu import Machine
 from .core import run_with_cobra
 from .validate.differential import _digest, _snapshot_arrays
@@ -42,6 +43,7 @@ __all__ = [
     "REGRESSION_THRESHOLD",
     "run_case",
     "run_bench",
+    "run_warm_case",
     "format_report",
     "compare_reports",
 ]
@@ -195,6 +197,83 @@ def fastpath_stats(machine: Machine) -> dict:
     totals["deopts"] = {k: deopts[k] for k in sorted(deopts)}
     totals["per_core"] = per_core
     return totals
+
+
+def run_warm_case(
+    benchmark: str,
+    machine_name: str,
+    strategy: str = "adaptive",
+    optimize_interval: int = 10_000,
+) -> dict:
+    """Run one case twice against a shared in-memory profile database.
+
+    The first (cold) run starts from an empty database and records its
+    profile; the second (warm) run seeds from it.  The headline number
+    is ``ramp_reduction_pct`` — how much of the cold profiling ramp
+    (retired instructions until the optimizer reaches steady-state CPI)
+    the warm start eliminated.  Fidelity is checked the same way
+    :func:`run_case` does: the two runs must produce identical output
+    digests, or the profile database changed semantics, not ramp time.
+    """
+    from .persist import MemoryDisk
+
+    factory, threads = BENCH_MACHINES[machine_name]
+    build = _BUILDERS[benchmark]
+    disk = MemoryDisk()
+    rows = {}
+    for label in ("cold", "warm"):
+        machine = Machine(factory(BENCH_SCALE))
+        prog = build(machine, threads)
+        config = replace(
+            machine.config.cobra,
+            optimize_interval=optimize_interval,
+            profile_db=ProfileDBConfig(disk=disk),
+        )
+        t0 = time.perf_counter()
+        result, report = run_with_cobra(prog, strategy, config=config)
+        wall = time.perf_counter() - t0
+        db = report.profile_db or {}
+        ramp = (
+            report.ramp_retired
+            if report.ramp_retired is not None
+            else result.retired
+        )
+        rows[label] = {
+            "wall_s": round(wall, 6),
+            "retired": result.retired,
+            "ramp_retired": ramp,
+            "digest": _digest(_snapshot_arrays(prog)),
+            "source": db.get("source", "off"),
+            "seeded_loops": db.get("seeded_loops", 0),
+            "deployments": len(report.deployments),
+        }
+    cold_ramp = rows["cold"]["ramp_retired"]
+    warm_ramp = rows["warm"]["ramp_retired"]
+    reduction = (
+        100.0 * (1.0 - warm_ramp / cold_ramp) if cold_ramp else 100.0
+    )
+    return {
+        "id": f"{machine_name}/{benchmark}/{strategy}",
+        "benchmark": benchmark,
+        "machine": machine_name,
+        "strategy": strategy,
+        "threads": threads,
+        "scale": BENCH_SCALE,
+        "optimize_interval": optimize_interval,
+        "cold": rows["cold"],
+        "warm": rows["warm"],
+        "ramp_reduction_pct": round(reduction, 2),
+        "digests_match": rows["cold"]["digest"] == rows["warm"]["digest"],
+        # a warm start must consume the cold run's entry, and when the
+        # cold run proved deployments, re-deploy at least one of them
+        "warm_seeded": (
+            rows["warm"]["source"] == "hit"
+            and (
+                rows["cold"]["deployments"] == 0
+                or rows["warm"]["seeded_loops"] > 0
+            )
+        ),
+    }
 
 
 def run_bench(

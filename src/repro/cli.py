@@ -11,6 +11,8 @@ Examples::
     python -m repro daxpy --checkpoint-dir ckpt --strategy noprefetch
     python -m repro resume --checkpoint-dir ckpt
     python -m repro recovery --workloads daxpy --stride 4
+    python -m repro npb cg --profile-db cg.profile.db
+    python -m repro warm --workloads daxpy cg
 """
 
 from __future__ import annotations
@@ -31,7 +33,13 @@ from .bench import (
     format_report,
     run_bench,
 )
-from .config import FaultConfig, PersistConfig, itanium2_smp, sgi_altix
+from .config import (
+    FaultConfig,
+    PersistConfig,
+    ProfileDBConfig,
+    itanium2_smp,
+    sgi_altix,
+)
 from .core import STRATEGIES, run_with_cobra
 from .faults import CHAOS_STRATEGIES, ChaosHarness
 from .cpu import Machine
@@ -89,17 +97,51 @@ def _machine(args) -> tuple[Machine, int]:
     return machine, threads
 
 
-def _checkpoint_config(args, machine: Machine, meta: dict):
-    """COBRA config carrying the checkpoint store, or ``None`` for stock.
+def _run_config(args, machine: Machine, meta: dict):
+    """COBRA config carrying the CLI's store attachments, or ``None``.
 
-    ``meta`` is the workload descriptor journaled into the store so that
-    ``repro resume`` can rebuild the same machine and program without
-    any side-channel file.
+    ``meta`` is the workload descriptor journaled into the checkpoint
+    store so that ``repro resume`` can rebuild the same machine and
+    program without any side-channel file.  ``--profile-db`` rides on
+    the same config: unlike the checkpoint store it survives across
+    runs, so the second invocation of the same workload warm-starts.
     """
-    if not args.checkpoint_dir:
+    config = None
+    if args.checkpoint_dir:
+        persist = PersistConfig(directory=args.checkpoint_dir, meta=meta)
+        config = replace(machine.config.cobra, persist=persist)
+    if getattr(args, "profile_db", None):
+        config = replace(
+            config or machine.config.cobra,
+            profile_db=ProfileDBConfig(path=args.profile_db),
+        )
+    return config
+
+
+def _bad_profile_db(args) -> int | None:
+    """Exit code 2 for a malformed --profile-db, else None.
+
+    Same boundary contract as the REPRO_* env checks: one-line
+    diagnostic before any simulation work starts.
+    """
+    path = getattr(args, "profile_db", None)
+    if not path:
         return None
-    persist = PersistConfig(directory=args.checkpoint_dir, meta=meta)
-    return replace(machine.config.cobra, persist=persist)
+    if args.strategy == "baseline":
+        print(
+            "repro: error: --profile-db requires a COBRA strategy "
+            "(the baseline collects no profile)",
+            file=sys.stderr,
+        )
+        return 2
+    if os.path.isdir(path):
+        print(
+            f"repro: error: --profile-db must name a database file, "
+            f"got directory {path!r}",
+            file=sys.stderr,
+        )
+        return 2
+    return None
 
 
 def _report_run(result, report, verified: bool | None) -> int:
@@ -125,13 +167,16 @@ def _cmd_daxpy(args) -> int:
             file=sys.stderr,
         )
         return 2
+    bad = _bad_profile_db(args)
+    if bad is not None:
+        return bad
     machine, threads = _machine(args)
     n = working_set_elems(args.working_set, machine.config.scale)
     prog = build_daxpy(machine, n, threads, outer_reps=args.reps)
     if args.strategy == "baseline":
         result, report = prog.run(), None
     else:
-        config = _checkpoint_config(args, machine, {
+        config = _run_config(args, machine, {
             "cmd": "daxpy", "machine": args.machine, "threads": threads,
             "scale": args.scale, "working_set": args.working_set,
             "reps": args.reps, "strategy": args.strategy,
@@ -150,6 +195,9 @@ def _cmd_npb(args) -> int:
             file=sys.stderr,
         )
         return 2
+    bad = _bad_profile_db(args)
+    if bad is not None:
+        return bad
     bench = BENCHMARKS[args.benchmark]
     machine, threads = _machine(args)
     reps = args.reps or bench.default_reps
@@ -157,7 +205,7 @@ def _cmd_npb(args) -> int:
     if args.strategy == "baseline":
         result, report = prog.run(), None
     else:
-        config = _checkpoint_config(args, machine, {
+        config = _run_config(args, machine, {
             "cmd": "npb", "benchmark": args.benchmark, "machine": args.machine,
             "threads": threads, "scale": args.scale, "reps": reps,
             "strategy": args.strategy,
@@ -513,6 +561,69 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_warm(args) -> int:
+    from .bench import FULL_BENCHMARKS as WARM_BENCHMARKS
+    from .bench import run_warm_case
+
+    if args.strategy not in STRATEGIES:
+        return _bad_strategy(args.strategy, STRATEGIES)
+    if args.min_reduction < 0 or args.min_reduction > 100:
+        print(
+            f"repro: error: --min-reduction must be in [0, 100], "
+            f"got {args.min_reduction}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.optimize_interval < 1:
+        print(
+            f"repro: error: --optimize-interval must be >= 1, "
+            f"got {args.optimize_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in args.workloads:
+        if name not in WARM_BENCHMARKS:
+            print(
+                f"repro: error: unknown benchmark {name!r} "
+                f"(choose from: {', '.join(WARM_BENCHMARKS)})",
+                file=sys.stderr,
+            )
+            return 2
+    header = (
+        f"{'case':<28} {'cold ramp':>10} {'warm ramp':>10} "
+        f"{'saved':>7} {'digests':>8} {'seeded':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for name in args.workloads:
+        row = run_warm_case(
+            name, args.machine, args.strategy,
+            optimize_interval=args.optimize_interval,
+        )
+        ok = (
+            row["digests_match"]
+            and row["warm_seeded"]
+            and row["ramp_reduction_pct"] >= args.min_reduction
+        )
+        if not ok:
+            failures += 1
+        print(
+            f"{row['id']:<28} {row['cold']['ramp_retired']:>10} "
+            f"{row['warm']['ramp_retired']:>10} "
+            f"{row['ramp_reduction_pct']:>6.1f}% "
+            f"{'match' if row['digests_match'] else 'DIFFER':>8} "
+            f"{'yes' if row['warm_seeded'] else 'NO':>7}"
+        )
+    print(
+        "warm:",
+        "OK" if failures == 0 else f"{failures} failure(s) "
+        f"(need >= {args.min_reduction:.0f}% ramp reduction, matching "
+        "digests, and a seeded warm run)",
+    )
+    return 0 if failures == 0 else 1
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -536,6 +647,12 @@ def _parser() -> argparse.ArgumentParser:
         "--checkpoint-dir", default=None, metavar="DIR",
         help="persist a crash-consistent checkpoint store (journal + "
         "snapshots) in DIR; continue it later with 'repro resume'",
+    )
+    common.add_argument(
+        "--profile-db", default=None, metavar="PATH",
+        help="accumulate miss profiles and proven patch decisions in a "
+        "cross-run database file at PATH; a later run of the same binary "
+        "on the same machine config warm-starts from it",
     )
 
     daxpy = sub.add_parser("daxpy", parents=[common], help="run the OpenMP DAXPY kernel")
@@ -772,6 +889,32 @@ def _parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=_cmd_bench)
 
+    warm = sub.add_parser(
+        "warm",
+        help="profile-database smoke: run each workload twice against a "
+        "fresh in-memory database and require the warm run to cut the "
+        "profiling ramp with bit-identical outputs",
+    )
+    warm.add_argument(
+        "--workloads", nargs="+", default=["daxpy", "cg"],
+        help="benchmark names (daxpy/cg/mg)",
+    )
+    warm.add_argument("--machine", choices=sorted(MACHINES), default="smp4")
+    warm.add_argument(
+        "--strategy", default="adaptive", metavar="STRATEGY",
+        help="COBRA strategy for both runs",
+    )
+    warm.add_argument(
+        "--min-reduction", type=float, default=90.0, metavar="PCT",
+        help="fail unless the warm run cuts the profiling ramp by at "
+        "least PCT percent",
+    )
+    warm.add_argument(
+        "--optimize-interval", type=int, default=10_000, metavar="N",
+        help="optimizer wake interval (retired instructions) for both runs",
+    )
+    warm.set_defaults(func=_cmd_warm)
+
     return parser
 
 
@@ -796,6 +939,12 @@ def _validate_env() -> str | None:
     jit = os.environ.get("REPRO_TRACE_JIT", "").strip()
     if jit and jit not in ("0", "1"):
         return f"REPRO_TRACE_JIT must be '0' or '1', got {jit!r}"
+    db = os.environ.get("REPRO_PROFILE_DB", "").strip()
+    if db and os.path.isdir(db):
+        return (
+            f"REPRO_PROFILE_DB must name a profile-database file, "
+            f"got directory {db!r}"
+        )
     return None
 
 

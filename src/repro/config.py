@@ -31,6 +31,7 @@ __all__ = [
     "LatencyConfig",
     "FaultConfig",
     "PersistConfig",
+    "ProfileDBConfig",
     "CobraConfig",
     "MachineConfig",
     "itanium2_smp",
@@ -204,6 +205,34 @@ class PersistConfig:
 
 
 @dataclass(frozen=True)
+class ProfileDBConfig:
+    """Cross-run profile database attachment (:mod:`repro.persist`).
+
+    Attached to :attr:`CobraConfig.profile_db` (default ``None`` = no
+    database, zero overhead, bit-identical runs).  Exactly one of
+    ``path`` (a database *file* on the real filesystem) or ``disk`` (an
+    injectable :class:`~repro.persist.journal.Disk`, for deterministic
+    tests and the fuzz corruption cells) must be provided.  Unlike the
+    checkpoint store, the database outlives any single run and is keyed
+    by binary digest + machine descriptor + strategy, so one file can
+    serve many workloads and machines.
+    """
+
+    #: database file path on the real filesystem
+    path: str | None = None
+    #: injectable disk; overrides ``path`` when set
+    disk: object | None = None
+    #: warm-start from a matching entry when one exists
+    seed: bool = True
+    #: fold this run's profile back into the database at stop
+    record: bool = True
+
+    def __post_init__(self) -> None:
+        if self.path is None and self.disk is None:
+            raise ValueError("ProfileDBConfig needs a path or an injectable disk")
+
+
+@dataclass(frozen=True)
 class CobraConfig:
     """COBRA runtime parameters (sampling, filtering, policy)."""
 
@@ -248,6 +277,11 @@ class CobraConfig:
     #: environment variable (a checkpoint directory path) overrides
     #: this at ``Cobra`` construction.
     persist: PersistConfig | None = None
+    #: Cross-run profile database (:mod:`repro.persist.profiledb`);
+    #: ``None`` disables it entirely.  The ``REPRO_PROFILE_DB``
+    #: environment variable (a database file path) overrides this at
+    #: ``Cobra`` construction.
+    profile_db: ProfileDBConfig | None = None
     #: Optimizer watchdog: after this many fault strikes (failed
     #: deployments, monitor deaths, quarantine surges, recorded
     #: invariant violations) the optimizer reverts every active

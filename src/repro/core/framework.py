@@ -26,13 +26,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..config import CobraConfig, FaultConfig, PersistConfig
+from ..config import CobraConfig, FaultConfig, PersistConfig, ProfileDBConfig
 from ..cpu.machine import Machine
 from ..cpu.scheduler import Scheduler
-from ..errors import CobraError, InvariantViolation
+from ..errors import CobraError, InvariantViolation, ProfileStateError
 from ..faults.injector import FaultInjector, FaultLedger
 from ..isa.binary import BinaryImage
 from ..persist.manager import PersistenceManager, PersistStats
+from ..persist.profiledb import ProfileDB, profile_key
 from ..runtime.team import ParallelProgram, RunResult
 from ..validate.checker import VALIDATE_MODES, CoherenceChecker
 from .monitor import MonitoringThread
@@ -74,6 +75,15 @@ class CobraReport:
     #: coverage %, deopt reasons, decode-cache hit rate), aggregated
     #: over the machine's cores at report time
     fastpath: dict | None = None
+    #: per-loop resident trace versions, the active one, and flip
+    #: counts (multi-version dispatch); empty = nothing ever deployed
+    versions: list[dict] = field(default_factory=list)
+    #: cross-run profile database block (key, hit/miss source, seeded
+    #: loop count, ramp) when ``CobraConfig.profile_db`` attached one
+    profile_db: dict | None = None
+    #: retired instructions when the profile first became warm
+    #: (0 = seeded warm start, ``None`` = never reached)
+    ramp_retired: int | None = None
 
     def summary(self) -> str:
         lines = [
@@ -88,6 +98,12 @@ class CobraReport:
         n_rollbacks = sum(1 for e in self.events if e.kind == "rollback")
         if n_rollbacks:
             lines.append(f"  {n_rollbacks} rollback(s)")
+        for v in self.versions:
+            resident = ", ".join(v["versions"]) if v["versions"] else "-"
+            lines.append(
+                f"  loop {v['head']:#x} versions [{resident}] "
+                f"active={v['active']} {v['flips']} flip(s)"
+            )
         if self.validate_checks:
             lines.append(
                 f"  validated {self.validate_checks} accesses, "
@@ -119,6 +135,13 @@ class CobraReport:
                 f"  persistence: {p.records_written} record(s) written, "
                 f"{p.snapshots_written} snapshot(s), "
                 f"{p.records_discarded + p.snapshots_discarded} discarded-corrupt"
+            )
+        if self.profile_db is not None:
+            pd = self.profile_db
+            ramp = "n/a" if self.ramp_retired is None else f"{self.ramp_retired} retired"
+            lines.append(
+                f"  profile-db: {pd['source']}, {pd['entries']} entries, "
+                f"seeded {pd['seeded_loops']} loop(s), warm at {ramp}"
             )
         if self.faults is not None:
             lines.append(f"  {self.faults.summary()}")
@@ -173,6 +196,22 @@ def _persistence(
     if persist_config is None:
         return None
     return PersistenceManager(persist_config, faults)
+
+
+def _profile_db(config: CobraConfig) -> ProfileDB | None:
+    """Build the cross-run profile DB from config, with the env override."""
+    db_config = config.profile_db
+    env = os.environ.get("REPRO_PROFILE_DB", "").strip()
+    if env:
+        if os.path.isdir(env):
+            raise CobraError(
+                f"REPRO_PROFILE_DB must name a profile-database file, "
+                f"got directory {env!r}"
+            )
+        db_config = ProfileDBConfig(path=env)
+    if db_config is None:
+        return None
+    return ProfileDB.from_config(db_config)
 
 
 class Cobra:
@@ -235,6 +274,40 @@ class Cobra:
                         per_cpu.get(str(monitor.core.cpu_id), 0)
                     )
                 self.optimizer.warm_start(recovered.state)
+        # cross-run profile database (repro.persist.profiledb): a hit
+        # seeds the profiler + proven deployments before the first
+        # instruction; absence/corruption just means a cold ramp
+        self.profile_db = _profile_db(self.config)
+        self._profile_key: str | None = None
+        self._profile_source = "off"
+        self._profile_seeded = 0
+        if self.profile_db is not None:
+            self.profile_db.load()
+            self._profile_key = profile_key(program, machine.config, strategy)
+            if self.profile_db.stats.future_format:
+                self._profile_source = "future-format"
+            elif self.profile_db.stats.corrupt:
+                self._profile_source = "corrupt"
+            else:
+                self._profile_source = "miss"
+            entry = self.profile_db.entry(self._profile_key)
+            if entry is not None:
+                if self.resumed:
+                    # the checkpoint warm start already ran and is
+                    # strictly fresher than any cross-run aggregate
+                    self._profile_source = "checkpoint"
+                elif not self.profile_db.seed:
+                    self._profile_source = "seed-off"
+                else:
+                    try:
+                        self._profile_seeded = self.optimizer.seed_from_profile(entry)
+                        self._profile_source = "hit"
+                    except ProfileStateError:
+                        # validate-then-commit left the optimizer cold;
+                        # drop the damaged entry so this run's record
+                        # replaces it
+                        self.profile_db.discard(self._profile_key)
+                        self._profile_source = "entry-invalid"
         self._installed = False
 
     def install(self, scheduler: Scheduler) -> None:
@@ -263,6 +336,17 @@ class Cobra:
             # warm-start seed for the next one (no-ops after a crash:
             # the dead disk swallows the writes)
             self.persist.close(self.optimizer.export_state())
+        if self.profile_db is not None and self.profile_db.record:
+            # a simulated crash killed the process: it cannot have
+            # written its profile out either
+            crashed = self.persist is not None and getattr(
+                self.persist.disk, "dead", False
+            )
+            if not crashed:
+                self.profile_db.record_run(
+                    self._profile_key, self.optimizer.export_profile_entry()
+                )
+                self.profile_db.save()
 
     def report(self) -> CobraReport:
         from ..bench import fastpath_stats
@@ -283,7 +367,23 @@ class Cobra:
             reclaimed_bundles=self.trace_cache.reclaimed_bundles,
             persist=self.persist.stats if self.persist is not None else None,
             resumed=self.resumed,
+            versions=self.trace_cache.version_report(),
+            profile_db=self._profile_db_report(),
+            ramp_retired=self.optimizer.warm_at_retired,
         )
+
+    def _profile_db_report(self) -> dict | None:
+        if self.profile_db is None:
+            return None
+        stats = self.profile_db.stats
+        return {
+            "key": self._profile_key,
+            "source": self._profile_source,
+            "entries": stats.entries,
+            "seeded_loops": self._profile_seeded,
+            "runs_recorded": stats.runs_recorded,
+            "saved": stats.saved,
+        }
 
 
 def run_with_cobra(

@@ -43,7 +43,7 @@ from ..isa.binary import BinaryImage
 from .monitor import MonitoringThread
 from .opts import make_noprefetch_rewrite
 from .opts.excl import associate_stored_streams, make_excl_rewrite
-from .policy import Decision, decide
+from .policy import Decision, decide, proven_decisions
 from .profiler import SystemProfiler
 from .tracecache import Deployment, TraceCache
 from .tracesel import LoopTrace, _scan_lfetch, select_loop_traces
@@ -120,6 +120,18 @@ class OptimizationThread:
         # recent per-window CPIs; deployment needs a warm, phase-averaged
         # baseline (the first windows are cold-miss-inflated)
         self._cpi_history: list[float] = []
+        # whole-run CPI accumulator (the history window keeps only the
+        # last 4); feeds the cross-run profile database
+        self._cpi_sum = 0.0
+        self._cpi_n = 0
+        #: retired-instruction count at which the profile first became
+        #: warm (3 recorded CPI windows); ``0`` when seeded from a
+        #: checkpoint or profile-DB entry, ``None`` if never reached.
+        #: This is the profiling-ramp metric the warm-start gate checks.
+        self.warm_at_retired: int | None = None
+        #: retired count of the first successful deployment (``None`` =
+        #: nothing deployed)
+        self.first_deploy_retired: int | None = None
         #: persistence manager (:mod:`repro.persist`); wired by the
         #: framework after construction, ``None`` = no journaling
         self.persist = None
@@ -136,6 +148,12 @@ class OptimizationThread:
                 [event.retired, event.kind, event.loop_head,
                  event.optimization, event.reason]
             )
+
+    def _note_cpi(self, value: float) -> None:
+        """Record one windowed CPI observation."""
+        self._cpi_history.append(value)
+        self._cpi_sum += value
+        self._cpi_n += 1
 
     # -- scheduler hook ---------------------------------------------------------
 
@@ -267,12 +285,16 @@ class OptimizationThread:
                         )
                     )
                 else:
-                    self._cpi_history.append(after_cpi)
+                    self._note_cpi(after_cpi)
 
         window_cpi = self._window.cpi(self.machine)
         if window_cpi > 0.0:
-            self._cpi_history.append(window_cpi)
+            self._note_cpi(window_cpi)
         del self._cpi_history[:-4]
+        if self.warm_at_retired is None and len(self._cpi_history) >= 3:
+            # the profiling ramp ends here: from this wake on, the
+            # deploy baseline is warm
+            self.warm_at_retired = retired
 
         ratio = self.profiler.coherent_ratio()
 
@@ -313,37 +335,73 @@ class OptimizationThread:
         self.profiler.new_window()
         self._persist_wake()
 
+    def _build_rewrite(self, trace: LoopTrace, optimization: str, retired: int):
+        """The rewrite callable for ``optimization``, or ``None`` + skip log."""
+        if optimization == "noprefetch":
+            return make_noprefetch_rewrite()
+        # .excl only on prefetches feeding stored streams (§4)
+        selection = associate_stored_streams(self.program, trace)
+        if selection is not None and not selection:
+            self._log(
+                OptEvent(retired, "skip", trace.head, "excl",
+                         "no store-associated prefetch in loop")
+            )
+            return None
+        return make_excl_rewrite(selection)
+
     def _deploy_one(self, retired: int, ratio: float) -> None:
-        """Select one hot loop and deploy a rewritten trace for it."""
+        """Select one hot loop and deploy (or re-dispatch) a trace for it.
+
+        A loop already running one optimized version is not frozen
+        there: when the observed phase now prefers a *different*
+        optimization, the live version is rolled back and the preferred
+        one deployed — usually a cheap head-redirect re-dispatch, since
+        the trace cache keeps every built version resident.
+        """
         traces = select_loop_traces(self.profiler, self.program)
         warm = len(self._cpi_history) >= 3
         for trace in traces:
-            if trace.head in self.blacklist or self.trace_cache.is_deployed(trace.head):
+            if trace.head in self.blacklist:
                 continue
+            active = self.trace_cache.active_optimization(trace.head)
             decision: Decision = decide(trace, self.strategy, self.config, ratio)
-            if decision.optimization is None:
+            if active is not None:
+                # multi-version dispatch: flip only on a clear, warm
+                # preference for another version; everything else keeps
+                # the live one (the phase-change scan in wake() already
+                # handles "no optimization warranted at all")
+                if (
+                    decision.optimization is None
+                    or decision.optimization == active
+                    or not warm
+                ):
+                    continue
+                rewrite = self._build_rewrite(trace, decision.optimization, retired)
+                if rewrite is None:
+                    continue
+                current = self.trace_cache.active_deployment(trace.head)
+                self.trace_cache.rollback(self.program, current)
                 self._log(
-                    OptEvent(retired, "skip", trace.head, None, decision.reason)
+                    OptEvent(
+                        retired, "rollback", trace.head, active,
+                        f"phase now prefers {decision.optimization}: version flip",
+                    )
                 )
-                continue
-            if not warm:
-                self._log(
-                    OptEvent(retired, "skip", trace.head, decision.optimization,
-                             "profile not warm yet")
-                )
-                continue
-            if decision.optimization == "noprefetch":
-                rewrite = make_noprefetch_rewrite()
             else:
-                # .excl only on prefetches feeding stored streams (§4)
-                selection = associate_stored_streams(self.program, trace)
-                if selection is not None and not selection:
+                if decision.optimization is None:
                     self._log(
-                        OptEvent(retired, "skip", trace.head, "excl",
-                                 "no store-associated prefetch in loop")
+                        OptEvent(retired, "skip", trace.head, None, decision.reason)
                     )
                     continue
-                rewrite = make_excl_rewrite(selection)
+                if not warm:
+                    self._log(
+                        OptEvent(retired, "skip", trace.head, decision.optimization,
+                                 "profile not warm yet")
+                    )
+                    continue
+                rewrite = self._build_rewrite(trace, decision.optimization, retired)
+                if rewrite is None:
+                    continue
             history = self._cpi_history[-3:]
             before_cpi = sum(history) / len(history)
             try:
@@ -357,6 +415,8 @@ class OptimizationThread:
                 if self.faults is not None:
                     self._strike(retired, f"deployment failed: {exc}")
                 continue
+            if self.first_deploy_retired is None:
+                self.first_deploy_retired = retired
             self._log(
                 OptEvent(
                     retired, "deploy", trace.head, decision.optimization, decision.reason
@@ -414,6 +474,9 @@ class OptimizationThread:
         check on *future* deployments apply unchanged.
         """
         self._cpi_history = [float(x) for x in state.get("cpi_history", [])][-4:]
+        if len(self._cpi_history) >= 3:
+            # the checkpointed profile is already warm: no cold ramp
+            self.warm_at_retired = 0
         self.blacklist = {int(h) for h in state.get("blacklist", [])}
         self.mode = str(state.get("mode", "normal"))
         self.fault_strikes = int(state.get("fault_strikes", 0))
@@ -457,6 +520,118 @@ class OptimizationThread:
                 OptEvent(0, "deploy", head, optimization,
                          "warm restart: re-deployed from checkpoint")
             )
+
+    # -- cross-run profile database (repro.persist.profiledb) -----------------------
+
+    def seed_from_profile(self, entry: dict) -> int:
+        """Warm-start from a cross-run profile-DB entry; return loops deployed.
+
+        Restores the profiler aggregates (strictly validated — a torn
+        entry raises :class:`~repro.errors.ProfileStateError` and the
+        caller stays cold), seeds the CPI baseline from the entry's
+        steady-state mean, and immediately deploys the best proven
+        optimization per loop.  Like :meth:`warm_start`, no pending
+        evaluation is armed: seeded deployments stay subject to the
+        phase-change scan and future regression checks, but the cold
+        windows of this run must not revert an optimization proven over
+        whole prior runs.
+        """
+        prof = entry.get("profiler")
+        if prof is not None:
+            self.profiler.restore_state(prof)
+            # prior-run quarantine noise is not this run's signal
+            self.profiler.quarantined = {}
+            self.profiler.quarantined_total = 0
+            self._quarantine_seen = 0
+        cpi_count = int(entry.get("cpi_count", 0))
+        if cpi_count > 0:
+            mean = float(entry.get("cpi_total", 0.0)) / cpi_count
+            if mean > 0.0:
+                self._cpi_history = [mean, mean, mean]
+                self.warm_at_retired = 0
+        deployed = 0
+        for head, optimization, rec in proven_decisions(entry, self.strategy):
+            if head in self.blacklist or head not in self.program.bundles:
+                continue
+            if self.trace_cache.is_deployed(head):
+                continue
+            trace = LoopTrace(
+                head=head,
+                back_branch=int(rec.get("back_branch", head)),
+                hotness=int(rec.get("hotness", 0)),
+            )
+            trace.lfetch_sites = _scan_lfetch(self.program, head, trace.end_bundle)
+            if not trace.lfetch_sites:
+                continue
+            if optimization == "noprefetch":
+                rewrite = make_noprefetch_rewrite()
+            else:
+                selection = associate_stored_streams(self.program, trace)
+                if selection is not None and not selection:
+                    continue
+                rewrite = make_excl_rewrite(selection)
+            try:
+                self.trace_cache.deploy(self.program, trace, rewrite, optimization)
+            except TraceCacheError as exc:
+                self._log(
+                    OptEvent(0, "skip", head, optimization,
+                             f"profile-db redeploy failed: {exc}")
+                )
+                continue
+            if self.first_deploy_retired is None:
+                self.first_deploy_retired = 0
+            self._log(
+                OptEvent(0, "deploy", head, optimization,
+                         "profile-db: re-deployed proven optimization")
+            )
+            deployed += 1
+        return deployed
+
+    def export_profile_entry(self) -> dict:
+        """This run's contribution to the cross-run profile database.
+
+        ``proven`` evidence comes from deployments still active at run
+        end (they survived the regression check and every phase scan);
+        ``rolled_back`` only from CPI-regression rollbacks — a
+        phase-change revert is not evidence against the optimization,
+        just against the moment.
+        """
+        prof = self.profiler.export_state()
+        prof["quarantined"] = {}
+        prof["quarantined_total"] = 0
+        decisions: dict[str, dict] = {}
+
+        def record(head: int, optimization: str) -> dict:
+            return decisions.setdefault(str(head), {}).setdefault(
+                optimization,
+                {"proven": 0, "rolled_back": 0, "back_branch": 0, "hotness": 0},
+            )
+
+        for d in self.trace_cache.deployments:
+            if not d.active:
+                continue
+            rec = record(d.loop.head, d.optimization)
+            rec["proven"] += 1
+            rec["back_branch"] = max(rec["back_branch"], d.loop.back_branch)
+            rec["hotness"] = max(rec["hotness"], d.loop.hotness)
+        for e in self.events:
+            if (
+                e.kind == "rollback"
+                and e.loop_head is not None
+                and e.optimization
+                and e.reason.startswith("CPI ")
+            ):
+                record(int(e.loop_head), str(e.optimization))["rolled_back"] += 1
+        return {
+            "runs": 1,
+            "profiler": prof,
+            "cpi_total": self._cpi_sum,
+            "cpi_count": self._cpi_n,
+            "decisions": decisions,
+            "flips": sum(
+                vs.flips for vs in self.trace_cache.version_sets.values()
+            ),
+        }
 
     # -- reporting ----------------------------------------------------------------
 

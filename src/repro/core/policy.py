@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from ..config import CobraConfig
 from .tracesel import LoopTrace
 
-__all__ = ["Decision", "decide", "STRATEGIES"]
+__all__ = ["Decision", "decide", "proven_decisions", "STRATEGIES"]
 
 STRATEGIES = ("noprefetch", "excl", "adaptive")
 
@@ -85,3 +85,37 @@ def decide(
         f"coherent share {share:.2f} below "
         f"{config.noprefetch_coherent_share:.2f}: keep prefetching, take ownership",
     )
+
+
+def proven_decisions(entry: dict, strategy: str) -> list[tuple[int, str, dict]]:
+    """Best proven optimization per loop from a profile-DB entry.
+
+    ``entry["decisions"]`` maps loop head -> optimization -> evidence
+    (``proven``/``rolled_back`` counts plus loop geometry).  Only
+    optimizations with positive net evidence qualify, filtered to what
+    ``strategy`` is allowed to deploy; ties break deterministically on
+    (net evidence, hotness, optimization name) so the same entry always
+    seeds the same deployments.  Returns ``(head, optimization,
+    record)`` tuples in ascending head order.
+    """
+    out: list[tuple[int, str, dict]] = []
+    for head_str, opts in sorted(
+        entry.get("decisions", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        if not isinstance(opts, dict):
+            continue
+        best: tuple[tuple[int, int, str], str, dict] | None = None
+        for optimization, rec in sorted(opts.items()):
+            if strategy not in ("adaptive", optimization):
+                continue
+            if not isinstance(rec, dict):
+                continue
+            net = int(rec.get("proven", 0)) - int(rec.get("rolled_back", 0))
+            if net <= 0:
+                continue
+            score = (net, int(rec.get("hotness", 0)), optimization)
+            if best is None or score > best[0]:
+                best = (score, optimization, rec)
+        if best is not None:
+            out.append((int(head_str), best[1], best[2]))
+    return out

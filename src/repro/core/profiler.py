@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..config import CobraConfig
+from ..errors import ProfileStateError
 from ..hpm.counters import COUNTER_MASK
 from ..hpm.sample import Sample
 from .filters import MissProfile, MissStats
@@ -126,13 +127,20 @@ class SystemProfiler:
         return self._coherent_delta / self._bus_delta
 
     def backward_branches(self) -> list[tuple[tuple[int, int], int]]:
-        """(branch, target) pairs with target <= branch, by frequency."""
+        """(branch, target) pairs with target <= branch, by frequency.
+
+        Ties break on the ``(branch, target)`` pair itself, never on
+        dict-insertion order: loop selection (and therefore everything
+        downstream of it — deployments, the profile database) must be a
+        pure function of the aggregate counts, not of the order samples
+        happened to arrive in.
+        """
         loops = [
             (pair, count)
             for pair, count in self.btb_pairs.items()
             if pair[1] <= pair[0]
         ]
-        loops.sort(key=lambda item: item[1], reverse=True)
+        loops.sort(key=lambda item: (-item[1], item[0]))
         return loops
 
     # -- persistence (repro.persist) -------------------------------------------
@@ -171,31 +179,109 @@ class SystemProfiler:
     def restore_state(self, state: dict) -> None:
         """Warm-restart the aggregates from :meth:`export_state` output.
 
+        Validate-then-commit: the whole state is checked and rebuilt
+        into fresh structures before any live field is assigned, and a
+        structural problem anywhere raises
+        :class:`~repro.errors.ProfileStateError` — a torn or
+        schema-drifted profile can never half-warm-start the optimizer
+        (an earlier version ``.get()``-defaulted missing keys and would
+        happily restore half a profile).
+
         The ordering/delta state stays reset: restoring last-seen sample
         indices would quarantine every fresh sample of the new session
         as ``stale-index``, and a stale counter snapshot would turn the
         first delta into wraparound garbage.
         """
-        misses = state.get("misses", {})
-        self.misses.by_pc = {}
-        for pc_str, s in misses.get("by_pc", {}).items():
-            pc = int(pc_str)
-            self.misses.by_pc[pc] = MissStats(
+
+        def fail(path: str, message: str) -> "ProfileStateError":
+            return ProfileStateError(message, path=path)
+
+        def need(mapping: object, key: str, path: str) -> object:
+            if not isinstance(mapping, dict):
+                raise fail(path, f"expected an object, got {type(mapping).__name__}")
+            if key not in mapping:
+                raise fail(f"{path}.{key}", "missing key")
+            return mapping[key]
+
+        def as_int(value: object, path: str) -> int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise fail(path, f"expected an integer, got {value!r}")
+            return value
+
+        def as_num(value: object, path: str) -> "int | float":
+            # bus/coherent deltas decay by a float factor each window,
+            # so an exported snapshot legitimately holds either type
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise fail(path, f"expected a number, got {value!r}")
+            return value
+
+        def as_int_list(value: object, path: str) -> list[int]:
+            if not isinstance(value, list):
+                raise fail(path, f"expected a list, got {type(value).__name__}")
+            return [as_int(v, f"{path}[{i}]") for i, v in enumerate(value)]
+
+        if not isinstance(state, dict):
+            raise fail("state", f"expected an object, got {type(state).__name__}")
+
+        misses = need(state, "misses", "state")
+        by_pc_raw = need(misses, "by_pc", "misses")
+        if not isinstance(by_pc_raw, dict):
+            raise fail("misses.by_pc", "expected an object")
+        by_pc: dict[int, MissStats] = {}
+        for pc_str, s in by_pc_raw.items():
+            path = f"misses.by_pc[{pc_str}]"
+            try:
+                pc = int(pc_str)
+            except (TypeError, ValueError):
+                raise fail(path, f"non-integer pc key {pc_str!r}") from None
+            by_pc[pc] = MissStats(
                 pc=pc,
-                samples=int(s["samples"]),
-                coherent=int(s["coherent"]),
-                total_latency=int(s["total_latency"]),
-                lines=set(s.get("lines", [])),
-                threads=set(s.get("threads", [])),
+                samples=as_int(need(s, "samples", path), f"{path}.samples"),
+                coherent=as_int(need(s, "coherent", path), f"{path}.coherent"),
+                total_latency=as_int(
+                    need(s, "total_latency", path), f"{path}.total_latency"
+                ),
+                lines=set(as_int_list(need(s, "lines", path), f"{path}.lines")),
+                threads=set(as_int_list(need(s, "threads", path), f"{path}.threads")),
             )
-        self.misses.total_events = int(misses.get("total_events", 0))
-        self.misses.total_coherent = int(misses.get("total_coherent", 0))
-        self.btb_pairs = {(int(b), int(t)): int(c) for b, t, c in state.get("btb", [])}
-        self.samples_seen = int(state.get("samples_seen", 0))
-        self.quarantined = {k: int(v) for k, v in state.get("quarantined", {}).items()}
-        self.quarantined_total = int(state.get("quarantined_total", 0))
-        self._bus_delta = state.get("bus_delta", 0)
-        self._coherent_delta = state.get("coherent_delta", 0)
+        total_events = as_int(need(misses, "total_events", "misses"), "misses.total_events")
+        total_coherent = as_int(
+            need(misses, "total_coherent", "misses"), "misses.total_coherent"
+        )
+
+        btb_raw = need(state, "btb", "state")
+        if not isinstance(btb_raw, list):
+            raise fail("btb", "expected a list")
+        btb_pairs: dict[tuple[int, int], int] = {}
+        for i, row in enumerate(btb_raw):
+            if not isinstance(row, list) or len(row) != 3:
+                raise fail(f"btb[{i}]", f"expected [branch, target, count], got {row!r}")
+            b, t, c = (as_int(v, f"btb[{i}][{j}]") for j, v in enumerate(row))
+            btb_pairs[(b, t)] = c
+
+        samples_seen = as_int(need(state, "samples_seen", "state"), "samples_seen")
+        quarantined_raw = need(state, "quarantined", "state")
+        if not isinstance(quarantined_raw, dict):
+            raise fail("quarantined", "expected an object")
+        quarantined = {
+            str(k): as_int(v, f"quarantined[{k}]") for k, v in quarantined_raw.items()
+        }
+        quarantined_total = as_int(
+            need(state, "quarantined_total", "state"), "quarantined_total"
+        )
+        bus_delta = as_num(need(state, "bus_delta", "state"), "bus_delta")
+        coherent_delta = as_num(need(state, "coherent_delta", "state"), "coherent_delta")
+
+        # every field validated: commit atomically
+        self.misses.by_pc = by_pc
+        self.misses.total_events = total_events
+        self.misses.total_coherent = total_coherent
+        self.btb_pairs = btb_pairs
+        self.samples_seen = samples_seen
+        self.quarantined = quarantined
+        self.quarantined_total = quarantined_total
+        self._bus_delta = bus_delta
+        self._coherent_delta = coherent_delta
         self._last_counters = {}
         self._last_meta = {}
 

@@ -49,10 +49,13 @@ from .tracesel import LoopTrace
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
 
-__all__ = ["TraceCache", "Deployment"]
+__all__ = ["TraceCache", "Deployment", "TraceVersion", "VersionSet", "UNTOUCHED"]
 
 #: Base address of the trace cache segment.
 TRACE_BASE = 0x5000_0000
+
+#: The pseudo-version meaning "the original, unmodified loop is live".
+UNTOUCHED = "untouched"
 
 
 @dataclass
@@ -67,6 +70,45 @@ class Deployment:
     active: bool = True
 
 
+@dataclass
+class TraceVersion:
+    """One resident optimized copy of a loop body.
+
+    ``source`` holds the original program bundles the copy was built
+    from; a redeploy may reuse the resident copy only while the program
+    range still equals it bundle-for-bundle (otherwise the trace would
+    encode stale code).
+    """
+
+    optimization: str
+    entry: int                  # trace-cache address of this copy
+    n_rewrites: int
+    n_bundles: int              # body + exit-branch bundle
+    source: tuple               # Bundle objects of [head, end_bundle]
+
+
+@dataclass
+class VersionSet:
+    """All resident versions of one loop and which one is live.
+
+    ``flips`` counts live-version transitions after the initial
+    deployment — each phase-driven redirect (to another optimization or
+    back to the untouched original) is one flip.  ``reuses`` counts
+    redeploys served from a resident copy instead of a fresh build.
+    """
+
+    loop: LoopTrace
+    versions: dict = None       # optimization -> TraceVersion
+    active: str = UNTOUCHED
+    ever_active: bool = False
+    flips: int = 0
+    reuses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.versions is None:
+            self.versions = {}
+
+
 class TraceCache:
     """Holds optimized traces; performs deployment and rollback."""
 
@@ -79,6 +121,10 @@ class TraceCache:
         self.capacity = capacity_bundles
         self.faults = faults
         self.deployments: list[Deployment] = []
+        #: loop head -> resident optimized versions (multi-version
+        #: dispatch: untouched / noprefetch / excl stay resident and a
+        #: phase flip re-redirects instead of rebuilding the trace)
+        self.version_sets: dict[int, VersionSet] = {}
         #: recorded transactional recoveries and idempotent no-ops, in
         #: order; surfaced on the COBRA report
         self.recovery_log: list[str] = []
@@ -95,6 +141,34 @@ class TraceCache:
 
     def is_deployed(self, head: int) -> bool:
         return any(d.active and d.loop.head == head for d in self.deployments)
+
+    def active_deployment(self, head: int) -> Deployment | None:
+        """The live deployment for ``head``, or ``None``."""
+        for d in self.deployments:
+            if d.active and d.loop.head == head:
+                return d
+        return None
+
+    def active_optimization(self, head: int) -> str | None:
+        """Which optimization is live for ``head`` (``None`` = untouched)."""
+        d = self.active_deployment(head)
+        return d.optimization if d is not None else None
+
+    def version_report(self) -> list[dict]:
+        """Per-loop resident versions, active one, and flip counts."""
+        out = []
+        for head in sorted(self.version_sets):
+            vs = self.version_sets[head]
+            out.append(
+                {
+                    "head": head,
+                    "versions": sorted(vs.versions),
+                    "active": vs.active,
+                    "flips": vs.flips,
+                    "reuses": vs.reuses,
+                }
+            )
+        return out
 
     def overlaps_active(self, head: int, end: int) -> bool:
         """Would a [head, end] deployment overlap an active one?"""
@@ -134,58 +208,72 @@ class TraceCache:
                 f"trace cache full ({self.used_bundles}/{self.capacity} bundles; "
                 "injected exhaustion)"
             )
-        n_bundles = loop.n_bundles + 1  # + exit branch bundle
-        if self.used_bundles + n_bundles > self.capacity:
-            raise TraceCacheError(
-                f"trace cache full ({self.used_bundles}/{self.capacity} bundles)"
-            )
-
-        snapshot_version = program.version
-        entry = self.image.here()
-        offset = entry - loop.head
-        lo, hi = loop.head, loop.end_bundle
-        n_rewrites = 0
-
-        addr = lo
-        while addr <= hi:
-            bundle = program.fetch_bundle(addr)
-            new_slots = []
-            for instr in bundle.slots:
-                replacement = rewrite(instr)
-                if replacement is not None and replacement != instr:
-                    n_rewrites += 1
-                    instr = replacement
-                if instr.is_branch and isinstance(instr.imm, int) and lo <= instr.imm <= hi:
-                    # loop-internal target: remap into the trace cache
-                    instr = instr.clone(imm=instr.imm + offset)
-                new_slots.append(instr)
-            self.image.append(Bundle(new_slots, bundle.template))
-            addr += BUNDLE_BYTES
-
-        # exit branch: fall-through out of the loop returns to the program
-        exit_target = hi + BUNDLE_BYTES
-        self.image.append(
-            Bundle([nop("M"), nop("I"), Instruction(Op.BR, imm=exit_target, unit="B")])
-        )
-
-        if fault is not None and fault.kind == "stale_image":
-            # the program image moved on while the trace was being
-            # built; the snapshot the trace encodes is one version old
-            snapshot_version -= 1
-        if program.version != snapshot_version:
-            # redirecting now would publish a trace copied from a stale
-            # image: abort, reclaim the trace, keep the original live
-            self.reclaimed_bundles += self.image.truncate(entry)
-            if fault is not None:
-                self.faults.detected(
-                    fault, f"stale trace for loop {loop.head:#x} discarded"
+        resident = self._fresh_resident(program, loop, optimization, fault)
+        built_fresh = resident is None
+        if resident is not None:
+            # multi-version dispatch: a structurally fresh copy of this
+            # loop under this optimization is still resident — only the
+            # head redirect needs to be (re)written
+            entry = resident.entry
+            n_rewrites = resident.n_rewrites
+        else:
+            n_bundles = loop.n_bundles + 1  # + exit branch bundle
+            if self.used_bundles + n_bundles > self.capacity:
+                raise TraceCacheError(
+                    f"trace cache full ({self.used_bundles}/{self.capacity} bundles)"
                 )
-            self.recovery_log.append(
-                f"stale: trace for loop {loop.head:#x} discarded before redirect"
+
+            snapshot_version = program.version
+            entry = self.image.here()
+            offset = entry - loop.head
+            lo, hi = loop.head, loop.end_bundle
+            n_rewrites = 0
+            source: list[Bundle] = []
+
+            addr = lo
+            while addr <= hi:
+                bundle = program.fetch_bundle(addr)
+                source.append(bundle)
+                new_slots = []
+                for instr in bundle.slots:
+                    replacement = rewrite(instr)
+                    if replacement is not None and replacement != instr:
+                        n_rewrites += 1
+                        instr = replacement
+                    if instr.is_branch and isinstance(instr.imm, int) and lo <= instr.imm <= hi:
+                        # loop-internal target: remap into the trace cache
+                        instr = instr.clone(imm=instr.imm + offset)
+                    new_slots.append(instr)
+                self.image.append(Bundle(new_slots, bundle.template))
+                addr += BUNDLE_BYTES
+
+            # exit branch: fall-through out of the loop returns to the program
+            exit_target = hi + BUNDLE_BYTES
+            self.image.append(
+                Bundle([nop("M"), nop("I"), Instruction(Op.BR, imm=exit_target, unit="B")])
             )
-            raise TraceCacheError(
-                f"image version changed during deployment of loop {loop.head:#x} "
-                "(stale trace discarded)"
+
+            if fault is not None and fault.kind == "stale_image":
+                # the program image moved on while the trace was being
+                # built; the snapshot the trace encodes is one version old
+                snapshot_version -= 1
+            if program.version != snapshot_version:
+                # redirecting now would publish a trace copied from a stale
+                # image: abort, reclaim the trace, keep the original live
+                self.reclaimed_bundles += self.image.truncate(entry)
+                if fault is not None:
+                    self.faults.detected(
+                        fault, f"stale trace for loop {loop.head:#x} discarded"
+                    )
+                self.recovery_log.append(
+                    f"stale: trace for loop {loop.head:#x} discarded before redirect"
+                )
+                raise TraceCacheError(
+                    f"image version changed during deployment of loop {loop.head:#x} "
+                    "(stale trace discarded)"
+                )
+            resident = TraceVersion(
+                optimization, entry, n_rewrites, n_bundles, tuple(source)
             )
 
         # atomic redirection: one bundle replaced by a branch to the trace
@@ -206,7 +294,10 @@ class TraceCache:
         observed = program.fetch_bundle(loop.head)
         if observed != redirect or head_patch.new != observed:
             program.revert_patch(head_patch)
-            self.reclaimed_bundles += self.image.truncate(entry)
+            if built_fresh:
+                # a reused resident copy stays resident: only the
+                # freshly appended one is reclaimed
+                self.reclaimed_bundles += self.image.truncate(entry)
             if fault is not None and fault.kind == "torn_patch":
                 self.faults.detected(
                     fault, f"torn redirect at {loop.head:#x} reverted"
@@ -220,6 +311,7 @@ class TraceCache:
 
         deployment = Deployment(loop, entry, optimization, head_patch, n_rewrites)
         self.deployments.append(deployment)
+        self._activate(loop, resident, built_fresh)
         if self.persist is not None:
             # journaled only after the verify-after-write passed: the
             # WAL records committed transactions, not attempts
@@ -228,6 +320,75 @@ class TraceCache:
                 optimization, n_rewrites,
             )
         return deployment
+
+    def _fresh_resident(
+        self,
+        program: BinaryImage,
+        loop: LoopTrace,
+        optimization: str,
+        fault,
+    ) -> TraceVersion | None:
+        """A resident version of this loop that is still safe to reuse.
+
+        Safe means the program range ``[head, end_bundle]`` is
+        bundle-for-bundle identical to the source the copy was built
+        from.  A mismatched (stale) resident version is dropped from
+        the set so the caller falls through to a fresh build.  An
+        injected ``stale_image`` fault refuses the attempt outright —
+        all-or-nothing, exactly like the fresh-build abort: nothing in
+        the cache or the image changes, and the next attempt re-checks
+        real freshness.
+        """
+        vs = self.version_sets.get(loop.head)
+        if vs is None:
+            return None
+        version = vs.versions.get(optimization)
+        if version is None:
+            return None
+        if fault is not None and fault.kind == "stale_image":
+            self.faults.detected(
+                fault, f"stale signal under resident trace of loop {loop.head:#x}"
+            )
+            self.recovery_log.append(
+                f"stale: redeploy of loop {loop.head:#x} refused (resident trace kept)"
+            )
+            raise TraceCacheError(
+                f"image version changed during redeployment of loop {loop.head:#x} "
+                "(attempt refused, resident trace kept)"
+            )
+        addr, i = loop.head, 0
+        while addr <= loop.end_bundle:
+            if i >= len(version.source) or program.bundles.get(addr) != version.source[i]:
+                del vs.versions[optimization]
+                self.recovery_log.append(
+                    f"stale: resident {optimization} trace for loop {loop.head:#x} rebuilt"
+                )
+                return None
+            addr += BUNDLE_BYTES
+            i += 1
+        if i != len(version.source):
+            del vs.versions[optimization]
+            self.recovery_log.append(
+                f"stale: resident {optimization} trace for loop {loop.head:#x} rebuilt"
+            )
+            return None
+        return version
+
+    def _activate(
+        self, loop: LoopTrace, version: TraceVersion, built_fresh: bool
+    ) -> None:
+        """Record ``version`` as the live one for its loop."""
+        vs = self.version_sets.get(loop.head)
+        if vs is None:
+            vs = VersionSet(loop=loop)
+            self.version_sets[loop.head] = vs
+        vs.versions[version.optimization] = version
+        if vs.ever_active and vs.active != version.optimization:
+            vs.flips += 1
+        vs.active = version.optimization
+        vs.ever_active = True
+        if not built_fresh:
+            vs.reuses += 1
 
     @staticmethod
     def _tear(old: Bundle, redirect: Bundle, entry: int) -> Bundle:
@@ -257,6 +418,13 @@ class TraceCache:
             return False
         program.revert_patch(deployment.head_patch)
         deployment.active = False
+        vs = self.version_sets.get(deployment.loop.head)
+        if vs is not None and vs.active != UNTOUCHED:
+            # the untouched original goes live again: that is a version
+            # flip like any other (the optimized copy stays resident
+            # for a cheap re-dispatch if the phase returns)
+            vs.flips += 1
+            vs.active = UNTOUCHED
         if self.persist is not None:
             self.persist.log_txn(
                 "rollback", deployment.loop.head, deployment.loop.back_branch,

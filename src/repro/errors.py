@@ -107,6 +107,24 @@ class PersistError(ReproError):
     """
 
 
+class ProfileStateError(PersistError):
+    """A persisted profile failed structural validation on restore.
+
+    Raised by :meth:`repro.core.profiler.SystemProfiler.restore_state`
+    when a recovered or cross-run profile is torn, truncated, or
+    schema-drifted.  Restore is two-phase (validate everything, then
+    commit), so when this raises the live profiler is untouched — a
+    damaged profile can never half-warm-start the optimizer.  ``path``
+    names the offending field.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        self.path = path
+        if path:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
 class SimulatedCrash(ReproError):
     """The fault injector killed the run at a persistence boundary.
 

@@ -1,6 +1,6 @@
 """Differential execution of one scenario across all must-agree axes.
 
-Every generated scenario is executed seven times, each on a fresh
+Every generated scenario is executed ten times, each on a fresh
 machine with an identical program build:
 
 1. ``none``      — plain interpreter, no COBRA (ground truth);
@@ -17,7 +17,16 @@ machine with an identical program build:
 6. a crash run killed at the midpoint durable write of axis 5's store;
 7. ``resume``    — warm restart from the crashed store; outputs must
    match the straight-through run and the recovery ledger must account
-   every discarded artifact.
+   every discarded artifact;
+8. ``db-cold``   — adaptive attached to a fresh in-memory profile
+   database; a cold database is pure observation, so this must match
+   axis 2 *fully* (same six observables as the JIT axis);
+9. ``db-warm``   — adaptive re-run against the database axis 8 just
+   recorded; a warm start may legitimately move deployments earlier
+   (cycles change) but outputs must match ground truth;
+10. ``db-corrupt`` — adaptive against axis 9's database with one byte
+   flipped; a damaged database must load as absent, so this again
+   matches axis 2 *fully*.
 
 ``run_scenario`` is a module-level pure function of its params so the
 sweep fans out over :func:`repro.parallel.run_tasks` and the report
@@ -30,11 +39,12 @@ import hashlib
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
-from ..config import FaultConfig, PersistConfig
+from ..config import FaultConfig, PersistConfig, ProfileDBConfig
 from ..cpu.scheduler import Scheduler
 from ..errors import SimulatedCrash
 from ..hpm.sample import Sample
 from ..persist.journal import MemoryDisk
+from ..persist.profiledb import PROFILEDB_NAME
 from ..validate.differential import _digest, _snapshot_arrays
 from ..validate.recovery import zero_rate_faults
 from .driver import build_scenario, scenario_machine
@@ -88,6 +98,7 @@ def _run_axis(
     jit: bool,
     faults: FaultConfig | None = None,
     disk: MemoryDisk | None = None,
+    profile_db: MemoryDisk | None = None,
 ) -> RunObservables:
     """One differential cell: fresh machine, fresh build, one execution."""
     # deferred: repro.core imports repro.validate at module scope
@@ -112,6 +123,10 @@ def _run_axis(
             config = replace(config, faults=faults)
         if disk is not None:
             config = replace(config, persist=PersistConfig(disk=disk))
+        if profile_db is not None:
+            config = replace(
+                config, profile_db=ProfileDBConfig(disk=profile_db)
+            )
         engine = Cobra(machine, prog.image, "adaptive", config)
         for monitor in engine.monitors:
             monitor.drain = _TappedDrain(monitor.drain, captured)
@@ -246,6 +261,37 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
                 if resumed.ledger_accounted is False:
                     diverge("resume vs straight-through", "ledger",
                             "accounted", "unaccounted")
+
+    db_disk = MemoryDisk()
+    db_cold = attempt("db-cold", cobra=True, jit=True, profile_db=db_disk)
+    if adaptive and db_cold:
+        # a cold database only records; it must not perturb the run
+        for observable in ("digest", "cycles", "retired", "events",
+                           "n_samples", "samples_sha"):
+            want, got = getattr(adaptive, observable), getattr(db_cold, observable)
+            if want != got:
+                diverge("db-cold vs adaptive", observable, want, got)
+    if db_cold:
+        db_warm = attempt("db-warm", cobra=True, jit=True, profile_db=db_disk)
+        if db_warm and none and db_warm.digest != none.digest:
+            diverge("db-warm vs none", "digest", none.digest, db_warm.digest)
+        corrupt_disk = MemoryDisk()
+        blob = bytearray(db_disk.files.get(PROFILEDB_NAME, b""))
+        if blob:
+            blob[len(blob) // 2] ^= 0xFF
+        corrupt_disk.files[PROFILEDB_NAME] = blob
+        db_corrupt = attempt(
+            "db-corrupt", cobra=True, jit=True, profile_db=corrupt_disk
+        )
+        if adaptive and db_corrupt:
+            # a damaged database must load as absent, never half-seed
+            for observable in ("digest", "cycles", "retired", "events",
+                               "n_samples", "samples_sha"):
+                want, got = (
+                    getattr(adaptive, observable), getattr(db_corrupt, observable)
+                )
+                if want != got:
+                    diverge("db-corrupt vs adaptive", observable, want, got)
 
     return ScenarioResult(
         params=params,

@@ -20,6 +20,16 @@ from .journal import (
     scan_journal,
 )
 from .manager import PersistenceManager, PersistStats
+from .profiledb import (
+    PROFILEDB_FORMAT,
+    PROFILEDB_NAME,
+    ProfileDB,
+    ProfileDBStats,
+    image_digest,
+    machine_descriptor,
+    merge_entries,
+    profile_key,
+)
 from .recover import RecoveredState, empty_state, recover, repair
 from .snapshot import (
     SNAPSHOT_FORMAT,
@@ -49,4 +59,12 @@ __all__ = [
     "repair",
     "PersistenceManager",
     "PersistStats",
+    "PROFILEDB_FORMAT",
+    "PROFILEDB_NAME",
+    "ProfileDB",
+    "ProfileDBStats",
+    "image_digest",
+    "machine_descriptor",
+    "merge_entries",
+    "profile_key",
 ]

@@ -1,0 +1,313 @@
+"""Cross-run profile database (BOLT-style profile reuse).
+
+Every completed COBRA run knows things the *next* run of the same
+binary will spend its whole cold ramp rediscovering: which loops are
+hot, how much coherent traffic they generate, which rewrites proved out
+and which were rolled back.  The profile database makes that knowledge
+durable and shares it **across runs and machine configs**:
+
+* entries are keyed by ``profile_key(image, machine_config, strategy)``
+  — a digest of the binary image's canonical instruction stream
+  combined with a machine descriptor (name, CPU count, node count,
+  capacity scale) and the COBRA strategy.  A recompiled binary, a
+  different machine, or a different strategy never reuses a foreign
+  profile;
+* an entry accumulates the profiler aggregates (miss profile, BTB
+  pairs, bus/coherent deltas), steady-state CPI statistics, and
+  per-loop proven/rolled-back decision counts.  :func:`merge_entries`
+  is pure, commutative, and associative — entries recorded by any
+  number of runs in any order merge to the same bytes;
+* the store is one snapshot-codec file (CRC/sha-guarded, version-gated
+  like every other ``repro.persist`` artifact) on an injectable
+  :class:`~repro.persist.journal.Disk`.  Damage of any kind — bad
+  magic, digest mismatch, a format version that postdates this reader,
+  a non-object payload — makes the database load as *empty*, never
+  crash: a profile DB is a pure accelerator, and the worst a corrupt
+  one may do is cost the cold ramp again.
+
+Determinism contract: with the database absent, freshly created, or
+corrupt, a run's outputs and counters are bit-identical to a run with
+no database at all (loading happens before the first instruction,
+recording after the last).  A warm hit changes only *when* proven
+optimizations deploy (immediately instead of after the profiling
+ramp), never what the program computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+from ..isa.binary import BinaryImage
+from .journal import Disk, FileDisk
+from .snapshot import decode_snapshot, encode_snapshot
+
+__all__ = [
+    "PROFILEDB_NAME",
+    "PROFILEDB_FORMAT",
+    "ProfileDB",
+    "ProfileDBStats",
+    "image_digest",
+    "machine_descriptor",
+    "profile_key",
+    "merge_entries",
+    "empty_entry",
+]
+
+#: Default file name inside the backing disk.
+PROFILEDB_NAME = "profile.db"
+
+#: Inner payload format version.  The outer snapshot codec already
+#: gates its own layout; this gates the *entry schema*.  Readers treat
+#: a payload whose format postdates this as absent (never mid-restore
+#: crashes on fields they cannot interpret).
+PROFILEDB_FORMAT = 1
+
+
+# -- keying -------------------------------------------------------------------
+
+
+def image_digest(image: BinaryImage) -> str:
+    """Canonical digest of a binary image's instruction stream.
+
+    Covers the base address and, per bundle in address order, the
+    template and every instruction field — two images digest equal iff
+    they decode identically, independent of patch history or the dict
+    order bundles were inserted in.
+    """
+    h = hashlib.sha256()
+    h.update(f"base={image.base:#x}".encode())
+    for addr, bundle in image.iter_bundles():
+        h.update(f"\n{addr:#x}:{bundle.template or '-'}".encode())
+        for instr in bundle.slots:
+            fields = "|".join(str(getattr(instr, s)) for s in instr.__slots__)
+            h.update(f";{fields}".encode())
+    return h.hexdigest()
+
+
+def machine_descriptor(config) -> str:
+    """Stable descriptor of the platform a profile was collected on."""
+    return (
+        f"{config.name}:cpus={config.n_cpus}"
+        f":nodes={config.n_nodes}:scale={config.scale}"
+    )
+
+
+def profile_key(image: BinaryImage, machine_config, strategy: str) -> str:
+    """Database key: binary identity x machine descriptor x strategy."""
+    return f"{image_digest(image)[:16]}/{machine_descriptor(machine_config)}/{strategy}"
+
+
+# -- entries ------------------------------------------------------------------
+
+
+def empty_entry() -> dict:
+    """A zero entry (the merge identity)."""
+    return {
+        "runs": 0,
+        "profiler": None,
+        "cpi_total": 0.0,
+        "cpi_count": 0,
+        "decisions": {},
+        "flips": 0,
+    }
+
+
+def _merge_profilers(a: dict | None, b: dict | None) -> dict | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    by_pc: dict[str, dict] = {}
+    for prof in (a, b):
+        for pc, s in prof["misses"]["by_pc"].items():
+            cur = by_pc.get(pc)
+            if cur is None:
+                by_pc[pc] = {
+                    "samples": s["samples"],
+                    "coherent": s["coherent"],
+                    "total_latency": s["total_latency"],
+                    "lines": sorted(s["lines"]),
+                    "threads": sorted(s["threads"]),
+                }
+            else:
+                cur["samples"] += s["samples"]
+                cur["coherent"] += s["coherent"]
+                cur["total_latency"] += s["total_latency"]
+                cur["lines"] = sorted(set(cur["lines"]) | set(s["lines"]))
+                cur["threads"] = sorted(set(cur["threads"]) | set(s["threads"]))
+    btb: dict[tuple[int, int], int] = {}
+    for prof in (a, b):
+        for branch, target, count in prof["btb"]:
+            btb[(branch, target)] = btb.get((branch, target), 0) + count
+    return {
+        "misses": {
+            "by_pc": {pc: by_pc[pc] for pc in sorted(by_pc, key=int)},
+            "total_events": a["misses"]["total_events"] + b["misses"]["total_events"],
+            "total_coherent": (
+                a["misses"]["total_coherent"] + b["misses"]["total_coherent"]
+            ),
+        },
+        "btb": [[bt[0], bt[1], c] for bt, c in sorted(btb.items())],
+        "samples_seen": a["samples_seen"] + b["samples_seen"],
+        # quarantine counters are per-session noise, not profile signal;
+        # a seeded run must start with a clean quarantine ledger
+        "quarantined": {},
+        "quarantined_total": 0,
+        "bus_delta": a["bus_delta"] + b["bus_delta"],
+        "coherent_delta": a["coherent_delta"] + b["coherent_delta"],
+    }
+
+
+def _canon_decision(rec: dict) -> dict:
+    # rebuild in fixed field order: merged output must be byte-canonical
+    # regardless of the key order either input happened to carry
+    return {
+        "proven": rec["proven"],
+        "rolled_back": rec["rolled_back"],
+        "back_branch": rec["back_branch"],
+        "hotness": rec["hotness"],
+    }
+
+
+def _merge_decisions(a: dict, b: dict) -> dict:
+    out: dict[str, dict] = {}
+    for decisions in (a, b):
+        for head, opts in decisions.items():
+            slot = out.setdefault(head, {})
+            for optimization, rec in opts.items():
+                cur = slot.get(optimization)
+                if cur is None:
+                    slot[optimization] = _canon_decision(rec)
+                else:
+                    cur["proven"] = cur["proven"] + rec["proven"]
+                    cur["rolled_back"] = cur["rolled_back"] + rec["rolled_back"]
+                    cur["back_branch"] = max(cur["back_branch"], rec["back_branch"])
+                    cur["hotness"] = max(cur["hotness"], rec["hotness"])
+    return {
+        head: {opt: out[head][opt] for opt in sorted(out[head])}
+        for head in sorted(out, key=int)
+    }
+
+
+def merge_entries(a: dict, b: dict) -> dict:
+    """Merge two entries for the same key.
+
+    Pure and commutative/associative: counts and deltas add, line/thread
+    sets union, decision evidence adds per ``(loop, optimization)`` —
+    so N runs folding into the database produce the same entry in any
+    order, and two databases merged either way agree byte-for-byte.
+    """
+    return {
+        "runs": a["runs"] + b["runs"],
+        "profiler": _merge_profilers(a.get("profiler"), b.get("profiler")),
+        "cpi_total": a["cpi_total"] + b["cpi_total"],
+        "cpi_count": a["cpi_count"] + b["cpi_count"],
+        "decisions": _merge_decisions(a["decisions"], b["decisions"]),
+        "flips": a["flips"] + b["flips"],
+    }
+
+
+# -- the store ----------------------------------------------------------------
+
+
+@dataclass
+class ProfileDBStats:
+    """What loading/saving the database observed."""
+
+    #: the backing file existed at load time
+    present: bool = False
+    #: the file existed but failed the codec or schema checks
+    corrupt: bool = False
+    #: the payload's format version postdates this reader
+    future_format: bool = False
+    #: entries available after load
+    entries: int = 0
+    #: run records folded in by this process
+    runs_recorded: int = 0
+    #: the store was (re)written at close
+    saved: bool = False
+
+
+class ProfileDB:
+    """One profile database file on an injectable disk."""
+
+    def __init__(
+        self,
+        disk: Disk,
+        name: str = PROFILEDB_NAME,
+        *,
+        seed: bool = True,
+        record: bool = True,
+    ) -> None:
+        self.disk = disk
+        self.name = name
+        self.seed = seed
+        self.record = record
+        self.entries: dict[str, dict] = {}
+        self.stats = ProfileDBStats()
+
+    @classmethod
+    def from_config(cls, config) -> "ProfileDB":
+        """Build from a :class:`~repro.config.ProfileDBConfig`."""
+        if config.disk is not None:
+            return cls(config.disk, seed=config.seed, record=config.record)
+        directory, name = os.path.split(config.path)
+        return cls(
+            FileDisk(directory or "."),
+            name=name or PROFILEDB_NAME,
+            seed=config.seed,
+            record=config.record,
+        )
+
+    def load(self) -> None:
+        """Read the store; any damage loads as empty, never raises."""
+        self.entries = {}
+        if not self.disk.exists(self.name):
+            return
+        self.stats.present = True
+        try:
+            payload = decode_snapshot(bytes(self.disk.read(self.name)))
+        except ValueError:
+            self.stats.corrupt = True
+            return
+        fmt = payload.get("format")
+        if not isinstance(fmt, int):
+            self.stats.corrupt = True
+            return
+        if fmt > PROFILEDB_FORMAT:
+            # written by a newer build: refuse up front instead of
+            # crashing mid-restore on semantics this reader predates
+            self.stats.future_format = True
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, dict) or not all(
+            isinstance(e, dict) for e in entries.values()
+        ):
+            self.stats.corrupt = True
+            return
+        self.entries = entries
+        self.stats.entries = len(entries)
+
+    def entry(self, key: str) -> dict | None:
+        return self.entries.get(key)
+
+    def discard(self, key: str) -> None:
+        """Drop one entry (e.g. it failed structural validation)."""
+        self.entries.pop(key, None)
+
+    def record_run(self, key: str, entry: dict) -> None:
+        """Fold one completed run's entry into the database."""
+        existing = self.entries.get(key)
+        self.entries[key] = (
+            entry if existing is None else merge_entries(existing, entry)
+        )
+        self.stats.runs_recorded += 1
+
+    def save(self) -> None:
+        """Write the store atomically (temp + rename via the disk)."""
+        payload = {"format": PROFILEDB_FORMAT, "entries": self.entries}
+        self.disk.write_atomic(self.name, encode_snapshot(payload))
+        self.stats.saved = True
+        self.stats.entries = len(self.entries)

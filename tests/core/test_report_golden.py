@@ -127,6 +127,42 @@ class TestSummaryGolden:
                              events=[], faults=ledger)
         assert "(1 UNACCOUNTED)" in report.summary()
 
+    def test_version_lines(self):
+        versions = [
+            {"head": 0x40, "versions": ["excl", "noprefetch"],
+             "active": "noprefetch", "flips": 3, "reuses": 2},
+            {"head": 0x80, "versions": [], "active": "untouched",
+             "flips": 1, "reuses": 0},
+        ]
+        report = CobraReport(strategy="adaptive", samples=9, deployments=[],
+                             events=[], versions=versions)
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 9 samples, 0 active deployment(s)\n"
+            "  loop 0x40 versions [excl, noprefetch] active=noprefetch "
+            "3 flip(s)\n"
+            "  loop 0x80 versions [-] active=untouched 1 flip(s)"
+        )
+
+    def test_profile_db_line_warm_hit(self):
+        db = {"key": "k", "source": "hit", "entries": 2, "seeded_loops": 1,
+              "runs_recorded": 1, "saved": True}
+        report = CobraReport(strategy="adaptive", samples=6, deployments=[],
+                             events=[], profile_db=db, ramp_retired=0)
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 6 samples, 0 active deployment(s)\n"
+            "  profile-db: hit, 2 entries, seeded 1 loop(s), warm at 0 retired"
+        )
+
+    def test_profile_db_line_never_warm(self):
+        db = {"key": "k", "source": "corrupt", "entries": 0,
+              "seeded_loops": 0, "runs_recorded": 1, "saved": True}
+        report = CobraReport(strategy="excl", samples=1, deployments=[],
+                             events=[], profile_db=db, ramp_retired=None)
+        assert report.summary() == (
+            "COBRA strategy=excl: 1 samples, 0 active deployment(s)\n"
+            "  profile-db: corrupt, 0 entries, seeded 0 loop(s), warm at n/a"
+        )
+
     def test_everything_at_once_orders_lines(self):
         stats = PersistStats(records_written=2, records_replayed=3,
                              records_discarded=0, snapshots_written=1,

@@ -239,6 +239,42 @@ class TestPatchUnderTrace:
         assert core.regs.read_gr(1) == 600  # identical to the unpatched run
 
 
+class TestMultiVersionPatchCycle:
+    """COBRA's multi-version dispatch patches the same loop head
+    repeatedly: deploy (redirect on), rollback (redirect off), redeploy
+    reusing the resident trace (the identical redirect re-applied).
+    Every transition must deoptimize any compiled trace of the head via
+    the decode journal and remain bit-identical to the interpreter."""
+
+    SRC = CLOOP_SRC
+
+    def _cycle(self, jit: bool):
+        run = _SplitRun(self.SRC, jit=jit).run(120)
+        head = run.image.labels[".loop"]
+        run.image.patch_slot(head, 0, _patched_add(5), reason="deploy")
+        run.run(90)                                  # patched body executes
+        run.image.revert_patch(run.image.patches[-1])  # rollback
+        run.run(90)                                  # untouched body again
+        run.image.patch_slot(head, 0, _patched_add(5), reason="redeploy")
+        return run.finish()
+
+    def test_deploy_rollback_redeploy_bit_identical(self):
+        fast = self._cycle(jit=True)
+        ref = self._cycle(jit=False)
+        assert _arch_state(ref) == _arch_state(fast)
+        # the first patch invalidated the original compiled trace; the
+        # rollback invalidated the patched one in turn
+        assert fast.trace_jit.invalidations >= 1
+        assert ref.trace_jit.invalidations == 0
+
+    def test_final_patch_state_recompiles_hot(self):
+        core = self._cycle(jit=True)
+        assert core.halted
+        # the re-patched body re-proved hot and compiled again after
+        # the rollback invalidated it
+        assert core.trace_jit.compiles >= 2
+
+
 class TestObservability:
     def test_stats_shape_and_deopt_reasons(self):
         fast, _ = _run(CLOOP_SRC, jit=True)

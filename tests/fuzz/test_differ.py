@@ -8,7 +8,10 @@ from repro.fuzz import DifferentialFuzzer, generate_params, run_scenario, shrink
 from repro.fuzz.report import repro_command
 from repro.isa.instructions import Instruction, Op
 
-AXES = ("none", "adaptive", "jit-off", "faulted", "ckpt", "resume")
+AXES = (
+    "none", "adaptive", "jit-off", "faulted", "ckpt", "resume",
+    "db-cold", "db-warm", "db-corrupt",
+)
 
 
 class TestCleanSweep:

@@ -212,6 +212,71 @@ class TestCheckpointCli:
         assert rc == 2 and "no resumable checkpoint" in err
 
 
+class TestProfileDBCli:
+    def test_second_run_warm_starts_from_the_database(self, capsys, tmp_path):
+        db = str(tmp_path / "daxpy.profile.db")
+        args = [
+            "--scale", "4", "daxpy", "--profile-db", db,
+            "--strategy", "noprefetch", "--reps", "10",
+        ]
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "profile-db: miss" in out and "verified:        True" in out
+
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "profile-db: hit" in out
+        assert "warm at 0 retired" in out
+        assert "verified:        True" in out
+
+    def test_profile_db_rejects_directory(self, capsys, tmp_path):
+        rc = main(["daxpy", "--profile-db", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "--profile-db must name a database file" in err
+
+    def test_profile_db_requires_cobra_strategy(self, capsys, tmp_path):
+        rc = main([
+            "daxpy", "--profile-db", str(tmp_path / "p.db"),
+            "--strategy", "baseline",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--profile-db requires a COBRA strategy" in err
+
+    def test_env_override_rejects_directory(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE_DB", str(tmp_path))
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "REPRO_PROFILE_DB must name a profile-database file" in err
+
+    def test_env_override_attaches_the_database(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE_DB", str(tmp_path / "env.profile.db"))
+        rc = main(["--scale", "4", "daxpy", "--strategy", "noprefetch",
+                   "--reps", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "profile-db: miss" in out
+
+    def test_warm_rejects_unknown_benchmark(self, capsys):
+        rc = main(["warm", "--workloads", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown benchmark 'nope'" in err
+
+    def test_warm_rejects_bad_min_reduction(self, capsys):
+        rc = main(["warm", "--min-reduction", "150"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--min-reduction" in err
+
+    def test_warm_rejects_unknown_strategy(self, capsys):
+        rc = main(["warm", "--strategy", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown strategy 'nope'" in err
+
+
 class TestFuzzCli:
     """Argument validation plus a tiny smoke sweep — the full sweep and
     the planted-divergence path live in tests/fuzz/."""
@@ -270,7 +335,7 @@ class TestFuzzCli:
         data = json.loads(out_path.read_text())
         assert data["ok"] is True
         assert data["scenarios"][0]["seed"] == 3
-        assert len(data["scenarios"][0]["digests"]) == 6
+        assert len(data["scenarios"][0]["digests"]) == 9
 
 
 class TestRecoveryCli:
