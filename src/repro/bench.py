@@ -44,6 +44,7 @@ __all__ = [
     "run_case",
     "run_bench",
     "run_warm_case",
+    "run_fleet_case",
     "format_report",
     "compare_reports",
 ]
@@ -273,6 +274,65 @@ def run_warm_case(
                 or rows["warm"]["seeded_loops"] > 0
             )
         ),
+    }
+
+
+def run_fleet_case(
+    instances: int = 6,
+    quorum: int | None = None,
+    strategy: str = "adaptive",
+    optimize_interval: int = 10_000,
+    jobs: int = 1,
+) -> dict:
+    """Run one clean-transport fleet and measure the warm-start payoff.
+
+    The fleet analogue of :func:`run_warm_case`: the cold half profiles
+    from scratch, the daemon publishes the quorum-backed decisions, and
+    the warm half is dispatched with them.  The headline number is the
+    same ``ramp_reduction_pct`` (max cold ramp vs max seeded warm ramp),
+    with the fidelity gate widened to the whole fleet: every instance's
+    digest must equal the solo reference.
+    """
+    from .fleet import FleetHarness
+
+    t0 = time.perf_counter()
+    report = FleetHarness(
+        instances=instances,
+        quorum=quorum,
+        strategy=strategy,
+        optimize_interval=optimize_interval,
+    ).run(jobs=jobs)
+    wall = time.perf_counter() - t0
+    cold_ramps = [
+        r.ramp_retired for r in report.records
+        if r.round == "cold" and r.ramp_retired is not None
+    ]
+    warm_ramps = [
+        r.ramp_retired for r in report.records
+        if r.round == "warm" and r.seeded and r.ramp_retired is not None
+    ]
+    cold_ramp = max(cold_ramps) if cold_ramps else 0
+    warm_ramp = max(warm_ramps) if warm_ramps else cold_ramp
+    reduction = (
+        100.0 * (1.0 - warm_ramp / cold_ramp) if cold_ramp else 100.0
+    )
+    seeded = sum(1 for r in report.records if r.round == "warm" and r.seeded)
+    return {
+        "id": f"fleet{instances}/{report.workload}/{strategy}",
+        "workload": report.workload,
+        "instances": instances,
+        "quorum": report.quorum,
+        "optimize_interval": optimize_interval,
+        "wall_s": round(wall, 6),
+        "published": report.published,
+        "warm_seeded": report.warm > 0 and seeded == report.warm,
+        "cold_ramp_retired": cold_ramp,
+        "warm_ramp_retired": warm_ramp,
+        "ramp_reduction_pct": round(reduction, 2),
+        "digests_match": all(
+            r.digest == report.reference_digest for r in report.records
+        ),
+        "ok": report.ok,
     }
 
 

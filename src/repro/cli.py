@@ -624,6 +624,95 @@ def _cmd_warm(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_fleet(args) -> int:
+    # deferred: the fleet package pulls in the whole runtime stack
+    from .config import FleetFaultConfig
+    from .errors import FleetError
+    from .fleet import FleetHarness
+    from .validate import MachineRecipe
+
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
+    if args.instances < 1:
+        print(
+            f"repro: error: --instances must be >= 1, got {args.instances}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.quorum < 0:
+        print(
+            f"repro: error: --quorum must be >= 0 (0 = auto), got {args.quorum}",
+            file=sys.stderr,
+        )
+        return 2
+    quorum = args.quorum or None
+    if quorum is None:
+        env = os.environ.get("REPRO_FLEET_QUORUM", "").strip()
+        if env:
+            quorum = int(env)  # pre-validated by _validate_env
+    if quorum is not None and quorum > args.instances:
+        print(
+            f"repro: error: quorum {quorum} exceeds --instances {args.instances}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fault_seed is not None and args.fault_seed < 0:
+        print(
+            f"repro: error: --fault-seed must be >= 0, got {args.fault_seed}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.flush_interval < 1:
+        print(
+            f"repro: error: --flush-interval must be >= 1, "
+            f"got {args.flush_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload == "daxpy":
+        spec = daxpy_spec(n_elems=2048, n_threads=args.threads, reps=args.reps)
+    elif args.workload in BENCHMARKS:
+        spec = npb_spec(args.workload, n_threads=args.threads, reps=args.reps)
+    else:
+        print(
+            f"repro: error: unknown workload {args.workload!r}", file=sys.stderr
+        )
+        return 2
+    faults = None
+    if args.fault_seed is not None:
+        # the full hostile schedule: frame faults of every kind, network
+        # partitions, and one daemon crash mid-ingest
+        faults = FleetFaultConfig(
+            seed=args.fault_seed,
+            frame_rate=0.2,
+            partition_rate=0.15,
+            daemon_crash_batch=5,
+        )
+    try:
+        harness = FleetHarness(
+            workload=spec,
+            # small-scale machine so instances cross the deployment
+            # threshold (cf. the recovery sweep)
+            machine=MachineRecipe("smp", max(4, args.threads), 4),
+            instances=args.instances,
+            quorum=quorum,
+            faults=faults,
+            flush_interval=args.flush_interval,
+        )
+    except FleetError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    report = harness.run(jobs=args.jobs)
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -915,6 +1004,53 @@ def _parser() -> argparse.ArgumentParser:
     )
     warm.set_defaults(func=_cmd_warm)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet control plane: run N instances against one "
+        "optimization daemon over a fault-injectable transport and "
+        "require solo-identical outputs, quorum-gated decision reuse, "
+        "and a fully accounted fault ledger",
+    )
+    fleet.add_argument(
+        "--instances", type=int, default=8, metavar="N",
+        help="fleet size: first half runs cold, second half is "
+        "dispatched warm with the daemon's published decisions",
+    )
+    fleet.add_argument(
+        "--quorum", type=int, default=0, metavar="Q",
+        help="independent instances required before a decision is "
+        "published (0 = REPRO_FLEET_QUORUM or min(2, cold count))",
+    )
+    fleet.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="attack the transport with this seed (frame drop/dup/"
+        "reorder/delay/corrupt/poison, partitions, one daemon crash); "
+        "omit for a clean transport",
+    )
+    fleet.add_argument(
+        "--workload", default="daxpy",
+        help="'daxpy' or an NPB benchmark name",
+    )
+    fleet.add_argument("--threads", type=int, default=4)
+    fleet.add_argument(
+        "--reps", type=int, default=12,
+        help="outer repetitions per instance (enough for a deployment)",
+    )
+    fleet.add_argument(
+        "--flush-interval", type=int, default=1, metavar="K",
+        help="queue one telemetry batch every K optimizer wakes",
+    )
+    fleet.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the fleet report JSON here",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan instances over N worker processes "
+        "(reports are byte-identical at any N)",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
+
     return parser
 
 
@@ -945,6 +1081,16 @@ def _validate_env() -> str | None:
             f"REPRO_PROFILE_DB must name a profile-database file, "
             f"got directory {db!r}"
         )
+    quorum = os.environ.get("REPRO_FLEET_QUORUM", "").strip()
+    if quorum:
+        try:
+            value = int(quorum)
+        except ValueError:
+            value = 0
+        if value < 1:
+            return (
+                f"REPRO_FLEET_QUORUM must be a positive integer, got {quorum!r}"
+            )
     return None
 
 

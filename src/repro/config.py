@@ -30,6 +30,8 @@ __all__ = [
     "BusConfig",
     "LatencyConfig",
     "FaultConfig",
+    "FleetFaultConfig",
+    "FleetAgentConfig",
     "PersistConfig",
     "ProfileDBConfig",
     "CobraConfig",
@@ -167,6 +169,109 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class FleetFaultConfig:
+    """Deterministic transport fault plan for fleet mode (:mod:`repro.fleet`).
+
+    Every frame an agent sends to the daemon is a fault opportunity:
+    with probability ``frame_rate`` one fault kind is drawn (uniformly
+    from ``kinds``, default all of them) from a PRNG seeded by
+    ``(seed, instance)``, so a fleet schedule replays exactly regardless
+    of worker count.  ``partition_rate`` is drawn once per instance and
+    round — a partitioned agent cannot reach the daemon at all and
+    degrades to local-only optimization until it rejoins at the round
+    boundary.  ``daemon_crash_batch`` kills the daemon after the Nth
+    accepted batch (1-based); it must recover from its journal+snapshot
+    store and resume mid-fleet.
+    """
+
+    seed: int = 0
+    #: per-frame fault probability (drop/dup/reorder/delay/corrupt/poison)
+    frame_rate: float = 0.0
+    #: restrict the schedule to a subset of frame fault kinds (None = all)
+    kinds: tuple[str, ...] | None = None
+    #: per (instance, round) probability of a full network partition
+    partition_rate: float = 0.0
+    #: crash the daemon after the Nth accepted batch; None disables
+    daemon_crash_batch: int | None = None
+    #: send attempts per frame before the agent gives up (rejoin merge
+    #: still reconciles the data)
+    max_attempts: int = 6
+    #: first retransmit backoff, in virtual transport ticks
+    backoff_base: int = 4
+    #: backoff ceiling — no delay in the schedule ever exceeds this
+    backoff_cap: int = 512
+
+    def __post_init__(self) -> None:
+        for name in ("frame_rate", "partition_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be a non-negative integer, got {self.seed}")
+        if self.daemon_crash_batch is not None and self.daemon_crash_batch < 1:
+            raise ValueError(
+                f"daemon_crash_batch must be >= 1, got {self.daemon_crash_batch}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 1:
+            raise ValueError(f"backoff_base must be >= 1, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap must be >= backoff_base, got {self.backoff_cap}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetAgentConfig:
+    """Per-instance fleet attachment (:mod:`repro.fleet`).
+
+    Attached to :attr:`CobraConfig.fleet` (default ``None`` = solo run,
+    zero overhead, bit-identical behaviour).  The agent side is
+    deliberately passive: an outbox records one telemetry batch per
+    optimizer wake, and a daemon-pushed ``entry`` (a profile-database
+    entry whose decisions passed the quorum gate) warm-starts the run
+    through the existing ``seed_from_profile`` path.  A ``degraded``
+    agent is partitioned from the daemon: it queues frames locally,
+    optimizes on local evidence only, and reconciles via the profile
+    merge when it rejoins.
+    """
+
+    #: stable instance identifier, e.g. ``"i03"``
+    instance: str
+    #: fleet size, echoed into the instance report
+    instances: int = 1
+    #: evidence quorum the daemon applies before publishing a decision
+    quorum: int = 1
+    #: quorum-published decisions at dispatch time (daemon echo)
+    published: int = 0
+    #: quarantined streams at dispatch time (daemon echo)
+    quarantined: int = 0
+    #: partitioned from the daemon: local-only optimization
+    degraded: bool = False
+    #: daemon-pushed profile entry (None = cold start)
+    entry: dict | None = None
+    #: optimizer wakes folded into each telemetry batch
+    flush_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.instance:
+            raise ValueError("instance id must be a non-empty string")
+        if self.instances < 1:
+            raise ValueError(f"instances must be >= 1, got {self.instances}")
+        if self.quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {self.quorum}")
+        if self.quorum > self.instances:
+            raise ValueError(
+                f"quorum ({self.quorum}) cannot exceed fleet size ({self.instances})"
+            )
+        if self.flush_interval < 1:
+            raise ValueError(
+                f"flush_interval must be >= 1, got {self.flush_interval}"
+            )
+
+
+@dataclass(frozen=True)
 class PersistConfig:
     """Checkpoint store attachment (:mod:`repro.persist`).
 
@@ -282,6 +387,10 @@ class CobraConfig:
     #: environment variable (a database file path) overrides this at
     #: ``Cobra`` construction.
     profile_db: ProfileDBConfig | None = None
+    #: Fleet-mode agent attachment (:mod:`repro.fleet`); ``None`` = solo
+    #: run.  Set by the fleet harness, never from the environment: the
+    #: daemon echo inside it is meaningless outside a fleet dispatch.
+    fleet: FleetAgentConfig | None = None
     #: Optimizer watchdog: after this many fault strikes (failed
     #: deployments, monitor deaths, quarantine surges, recorded
     #: invariant violations) the optimizer reverts every active

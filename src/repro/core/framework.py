@@ -33,7 +33,7 @@ from ..errors import CobraError, InvariantViolation, ProfileStateError
 from ..faults.injector import FaultInjector, FaultLedger
 from ..isa.binary import BinaryImage
 from ..persist.manager import PersistenceManager, PersistStats
-from ..persist.profiledb import ProfileDB, profile_key
+from ..persist.profiledb import ProfileDB, image_digest, profile_key
 from ..runtime.team import ParallelProgram, RunResult
 from ..validate.checker import VALIDATE_MODES, CoherenceChecker
 from .monitor import MonitoringThread
@@ -84,6 +84,10 @@ class CobraReport:
     #: retired instructions when the profile first became warm
     #: (0 = seeded warm start, ``None`` = never reached)
     ramp_retired: int | None = None
+    #: fleet-mode block (instance id, fleet size, quorum, daemon echo,
+    #: seeded decisions, queued batches, transport fault counts) when
+    #: ``CobraConfig.fleet`` attached this run to a fleet
+    fleet: dict | None = None
 
     def summary(self) -> str:
         lines = [
@@ -143,6 +147,27 @@ class CobraReport:
                 f"  profile-db: {pd['source']}, {pd['entries']} entries, "
                 f"seeded {pd['seeded_loops']} loop(s), warm at {ramp}"
             )
+        if self.fleet is not None:
+            fl = self.fleet
+            lines.append(
+                f"  fleet[{fl['instance']}]: {fl['instances']} instance(s), "
+                f"quorum={fl['quorum']}, {fl['published']} published decision(s), "
+                f"seeded {fl['seeded']} decision(s), {fl['batches']} batch(es) "
+                f"queued, {fl['quarantined']} quarantined stream(s)"
+            )
+            if fl.get("degraded"):
+                a, b = fl.get("degraded_interval") or (0, 0)
+                lines.append(
+                    f"  fleet[{fl['instance']}]: degraded local-only "
+                    f"[{a}, {b}] retired (daemon unreachable; reconciled at rejoin)"
+                )
+            if fl.get("faults"):
+                counts = ", ".join(
+                    f"{kind}={count}" for kind, count in sorted(fl["faults"].items())
+                )
+                lines.append(
+                    f"  fleet[{fl['instance']}]: transport faults: {counts}"
+                )
         if self.faults is not None:
             lines.append(f"  {self.faults.summary()}")
         if self.fastpath is not None and self.fastpath.get("compiles"):
@@ -308,6 +333,31 @@ class Cobra:
                         # replaces it
                         self.profile_db.discard(self._profile_key)
                         self._profile_source = "entry-invalid"
+        # fleet mode (repro.fleet): the outbox passively observes every
+        # optimizer wake; a daemon-pushed quorum-gated entry warm-starts
+        # through the same seed_from_profile path as a profile-DB hit
+        self.fleet_outbox = None
+        self._fleet_seeded = 0
+        if self.config.fleet is not None:
+            from ..fleet.outbox import FleetOutbox
+
+            fl = self.config.fleet
+            self.fleet_outbox = FleetOutbox(
+                fl.instance,
+                profile_key(program, machine.config, strategy),
+                image_digest(program),
+                flush_interval=fl.flush_interval,
+            )
+            self.optimizer.outbox = self.fleet_outbox
+            if fl.entry is not None and not fl.degraded and not self.resumed:
+                try:
+                    self._fleet_seeded = self.optimizer.seed_from_profile(
+                        fl.entry, source="fleet"
+                    )
+                except ProfileStateError:
+                    # the daemon validates entries before pushing; a
+                    # damaged one still only costs the cold ramp
+                    self._fleet_seeded = 0
         self._installed = False
 
     def install(self, scheduler: Scheduler) -> None:
@@ -370,7 +420,23 @@ class Cobra:
             versions=self.trace_cache.version_report(),
             profile_db=self._profile_db_report(),
             ramp_retired=self.optimizer.warm_at_retired,
+            fleet=self._fleet_report(),
         )
+
+    def _fleet_report(self) -> dict | None:
+        if self.config.fleet is None:
+            return None
+        fl = self.config.fleet
+        return {
+            "instance": fl.instance,
+            "instances": fl.instances,
+            "quorum": fl.quorum,
+            "published": fl.published,
+            "seeded": self._fleet_seeded,
+            "batches": len(self.fleet_outbox.windows),
+            "quarantined": fl.quarantined,
+            "degraded": fl.degraded,
+        }
 
     def _profile_db_report(self) -> dict | None:
         if self.profile_db is None:

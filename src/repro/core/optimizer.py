@@ -135,6 +135,11 @@ class OptimizationThread:
         #: persistence manager (:mod:`repro.persist`); wired by the
         #: framework after construction, ``None`` = no journaling
         self.persist = None
+        #: fleet telemetry outbox (:mod:`repro.fleet`); wired by the
+        #: framework after construction, ``None`` = solo run.  Purely
+        #: observational — it reads the profiler and window CPI at each
+        #: wake and never feeds anything back into this run.
+        self.outbox = None
 
     def watch_violations(self, source: Callable[[], int]) -> None:
         """Register a recorded-violation counter for the watchdog."""
@@ -325,12 +330,14 @@ class OptimizationThread:
             # keep the evaluation window open (no reset, no decay) so
             # the after-CPI stays phase-averaged; no new deployment
             # while one is under evaluation (attribution)
+            self._outbox_flush(retired, window_cpi)
             self._persist_wake()
             return
 
         if self.mode == "normal":
             self._deploy_one(retired, ratio)
 
+        self._outbox_flush(retired, window_cpi)
         self._window = _Window(self.machine.total_cycles(), self.machine.total_retired())
         self.profiler.new_window()
         self._persist_wake()
@@ -432,6 +439,11 @@ class OptimizationThread:
         if self.persist is not None:
             self.persist.log_window(self.export_state())
 
+    def _outbox_flush(self, retired: int, window_cpi: float) -> None:
+        """Hand the closing window's telemetry to the fleet outbox."""
+        if self.outbox is not None:
+            self.outbox.on_wake(retired, window_cpi, self.profiler)
+
     def export_state(self) -> dict:
         """JSON-serializable control-plane state (one 'window' record)."""
         return {
@@ -523,8 +535,12 @@ class OptimizationThread:
 
     # -- cross-run profile database (repro.persist.profiledb) -----------------------
 
-    def seed_from_profile(self, entry: dict) -> int:
+    def seed_from_profile(self, entry: dict, source: str = "profile-db") -> int:
         """Warm-start from a cross-run profile-DB entry; return loops deployed.
+
+        ``source`` labels the event log: ``"profile-db"`` for a local
+        database hit, ``"fleet"`` for a daemon-pushed, quorum-gated
+        entry — same deployment path, different provenance.
 
         Restores the profiler aggregates (strictly validated — a torn
         entry raises :class:`~repro.errors.ProfileStateError` and the
@@ -575,14 +591,14 @@ class OptimizationThread:
             except TraceCacheError as exc:
                 self._log(
                     OptEvent(0, "skip", head, optimization,
-                             f"profile-db redeploy failed: {exc}")
+                             f"{source} redeploy failed: {exc}")
                 )
                 continue
             if self.first_deploy_retired is None:
                 self.first_deploy_retired = 0
             self._log(
                 OptEvent(0, "deploy", head, optimization,
-                         "profile-db: re-deployed proven optimization")
+                         f"{source}: re-deployed proven optimization")
             )
             deployed += 1
         return deployed

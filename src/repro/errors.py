@@ -136,6 +136,16 @@ class SimulatedCrash(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """Raised on invalid use of the fleet control plane itself.
+
+    Never raised *because* a transport fault fired or a stream went bad
+    — the daemon quarantines poisoned streams and rejects damaged
+    frames, the agent degrades to local-only optimization; this error
+    flags a malformed fleet configuration or protocol misuse.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised on invalid workload parameters."""
 

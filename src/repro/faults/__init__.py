@@ -25,6 +25,9 @@ sweep from the CLI: ``python -m repro chaos --seed N``.
 from .chaos import CHAOS_STRATEGIES, ChaosHarness, ChaosRecord, ChaosReport
 from .injector import (
     ALL_FAULTS,
+    FLEET_FAULTS,
+    FLEET_FRAME_FAULTS,
+    FLEET_TOLERATED_AT_INJECTION,
     LOOP_FAULTS,
     PATCH_FAULTS,
     PERSIST_FAULTS,
@@ -38,6 +41,9 @@ from .injector import (
 __all__ = [
     "ALL_FAULTS",
     "CHAOS_STRATEGIES",
+    "FLEET_FAULTS",
+    "FLEET_FRAME_FAULTS",
+    "FLEET_TOLERATED_AT_INJECTION",
     "LOOP_FAULTS",
     "PATCH_FAULTS",
     "PERSIST_FAULTS",

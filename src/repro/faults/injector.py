@@ -52,8 +52,11 @@ __all__ = [
     "PATCH_FAULTS",
     "LOOP_FAULTS",
     "PERSIST_FAULTS",
+    "FLEET_FRAME_FAULTS",
+    "FLEET_FAULTS",
     "ALL_FAULTS",
     "TOLERATED_AT_INJECTION",
+    "FLEET_TOLERATED_AT_INJECTION",
     "FaultEvent",
     "FaultLedger",
     "FaultInjector",
@@ -80,6 +83,24 @@ PERSIST_FAULTS = (
     "corrupt_snapshot",
     "stray_snapshot_tmp",
 )
+#: Fleet transport faults drawn per frame an agent sends to the daemon
+#: (:mod:`repro.fleet`; rates in
+#: :class:`~repro.config.FleetFaultConfig`).  ``poison_batch`` is the
+#: compromised-stream case: a CRC-valid frame whose *payload* lies
+#: (negative counts, divergent image digest) — the daemon's sanitizer
+#: and digest-consensus checks must quarantine the stream.
+FLEET_FRAME_FAULTS = (
+    "drop_frame",
+    "dup_frame",
+    "reorder_frame",
+    "delay_frame",
+    "corrupt_frame",
+    "poison_batch",
+)
+#: Schedule-level fleet faults: a full network partition (per instance
+#: and round) and a daemon kill after the Nth accepted batch.  Like
+#: ``PERSIST_FAULTS`` these are never drawn per opportunity.
+FLEET_FAULTS = FLEET_FRAME_FAULTS + ("partition", "daemon_crash")
 ALL_FAULTS = SAMPLE_FAULTS + PATCH_FAULTS + LOOP_FAULTS + PERSIST_FAULTS
 
 #: Faults that cannot hurt correctness no matter what the runtime does:
@@ -93,6 +114,17 @@ TOLERATED_AT_INJECTION = frozenset(
     {"drop_sample", "dup_sample", "late_sample", "usb_overflow", "missed_wakeup"}
 )
 
+#: Fleet transport faults the protocol absorbs by construction: a
+#: dropped frame is retransmitted after backoff, duplicates and
+#: reorders are no-ops under sequence-number dedup, and a delay only
+#: postpones ingestion.  ``corrupt_frame`` (CRC reject at the daemon),
+#: ``poison_batch`` (stream quarantine), ``partition`` (degraded mode +
+#: rejoin merge) and ``daemon_crash`` (journal recovery) all *require*
+#: an active detection to become accounted.
+FLEET_TOLERATED_AT_INJECTION = frozenset(
+    {"drop_frame", "dup_frame", "reorder_frame", "delay_frame"}
+)
+
 _INJECTED = "injected"
 _DETECTED = "detected"
 _TOLERATED = "tolerated"
@@ -104,7 +136,7 @@ class FaultEvent:
 
     seq: int
     kind: str
-    surface: str            # "sample" | "patch" | "loop" | "persist"
+    surface: str            # "sample" | "patch" | "loop" | "persist" | "fleet"
     status: str             # "injected" -> "detected" | "tolerated"
     note: str = ""
 

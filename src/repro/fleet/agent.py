@@ -1,0 +1,129 @@
+"""One fleet instance: a full COBRA run plus its wire traffic.
+
+:func:`run_instance` is a pure, picklable task — the fleet harness fans
+it over :func:`repro.parallel.run_tasks` — that runs one instance's
+workload under COBRA with an attached :class:`~repro.fleet.outbox.FleetOutbox`,
+then pushes the outbox's frames through that instance's seeded fault
+channel (:func:`repro.fleet.transport.simulate_channel`).  The daemon is
+*not* in the task: ingestion happens in the parent, in one global
+virtual-clock order, so worker count can never reorder daemon state.
+
+A degraded (partitioned / daemon-dead) instance still runs its full
+local optimization loop — graceful degradation is "solo mode with the
+frames kept for later" — and its clean frames are what the harness
+replays at rejoin to reconcile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..config import FleetAgentConfig, FleetFaultConfig
+from .transport import ChannelResult, simulate_channel
+from .wire import encode_frame
+
+__all__ = ["InstanceSpec", "InstanceResult", "run_instance"]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Everything one instance needs (picklable for process fan-out)."""
+
+    instance: str
+    round_no: int
+    workload: object                 # validate.WorkloadSpec
+    machine: Callable[[], object]    # machine recipe/factory
+    strategy: str
+    fleet: FleetAgentConfig
+    faults: FleetFaultConfig | None = None
+    optimize_interval: int | None = None
+    max_bundles: int | None = None
+    jit: bool | None = None
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Digest, runtime metrics, and wire traffic of one instance run."""
+
+    instance: str
+    round_no: int
+    key: str
+    digest: str
+    cycles: int
+    retired: int
+    verified: bool | None
+    seeded: int              # decisions re-deployed from the pushed entry
+    deployed: int            # deployments made during the run
+    batches: int             # window batches queued on the wire
+    degraded: bool
+    ramp_retired: int | None
+    fleet_lines: tuple[str, ...]
+    channel: ChannelResult
+
+
+def run_instance(spec: InstanceSpec) -> InstanceResult:
+    """Run one instance solo-equivalent and capture its channel."""
+    # deferred: repro.core imports repro.fleet lazily and vice versa
+    from ..core.framework import Cobra
+    from ..cpu.scheduler import Scheduler
+    from ..validate.differential import _digest, _snapshot_arrays
+
+    machine = spec.machine()
+    if spec.jit is not None:
+        for core in machine.cores:
+            core.jit_enabled = spec.jit
+    prog = spec.workload.build(machine)
+    config = machine.config.cobra
+    if spec.optimize_interval is not None:
+        config = replace(config, optimize_interval=spec.optimize_interval)
+    config = replace(config, fleet=spec.fleet)
+    cobra = Cobra(machine, prog.image, spec.strategy, config)
+    scheduler = Scheduler([th.core for th in prog.threads])
+    cobra.install(scheduler)
+    try:
+        result = prog.run(max_bundles=spec.max_bundles, scheduler=scheduler)
+    finally:
+        cobra.stop()
+    report = cobra.report()
+    digest = _digest(_snapshot_arrays(prog))
+    verified = spec.workload.verify(prog) if spec.workload.verify else None
+
+    outbox = cobra.fleet_outbox
+    frames = outbox.frames(cobra.optimizer.export_profile_entry())
+    times = outbox.send_times(result.retired)
+    if spec.fleet.degraded:
+        # partitioned: nothing reaches the daemon this round; the clean
+        # encodings are the rejoin/reconcile payload
+        channel = ChannelResult(clean=[encode_frame(p) for p in frames])
+    else:
+        channel = simulate_channel(frames, times, spec.faults, spec.instance)
+
+    fl = report.fleet
+    if spec.fleet.degraded:
+        fl["degraded_interval"] = (0, result.retired)
+    counts: dict[str, int] = {}
+    for event in channel.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    if counts:
+        fl["faults"] = counts
+    fleet_lines = tuple(
+        line for line in report.summary().splitlines()
+        if line.lstrip().startswith("fleet[")
+    )
+    return InstanceResult(
+        instance=spec.instance,
+        round_no=spec.round_no,
+        key=outbox.key,
+        digest=digest,
+        cycles=result.cycles,
+        retired=result.retired,
+        verified=verified,
+        seeded=fl["seeded"],
+        deployed=len(report.deployments),
+        batches=fl["batches"],
+        degraded=spec.fleet.degraded,
+        ramp_retired=report.ramp_retired,
+        fleet_lines=fleet_lines,
+        channel=channel,
+    )

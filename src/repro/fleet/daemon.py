@@ -1,0 +1,477 @@
+"""The fleet optimization daemon.
+
+One daemon serves a fleet of agent instances running the same binary
+image (the BOLT data-center model): it ingests their telemetry frames,
+folds their end-of-run profile entries into a shared store keyed by
+binary digest × machine descriptor × strategy (the profile-database
+key), and publishes patch decisions back — but only once a configurable
+**quorum** of independent, non-quarantined instances has reported
+net-proven evidence for the same ``(loop, optimization)`` pair.
+
+Defensive admission, in order, for every frame:
+
+1. **CRC** — a frame that fails the journal-codec framing is rejected
+   outright (the transport retransmits);
+2. **quarantine** — frames from a quarantined instance are refused;
+3. **sequence dedup** — a per-instance seen-set makes duplicated and
+   reordered frames no-ops (idempotent ingestion);
+4. **sanitizer** — window batches pass the same field-level range
+   checks the profiler applies to raw samples
+   (:meth:`repro.hpm.batch.WindowBatch.anomaly`), plus stream checks:
+   two batches claiming the same window ordinal with different content
+   (``window-conflict``) or a retired count that runs backwards
+   (``time-travel``) quarantine the stream; profile entries are
+   structurally validated, including a scratch-profiler restore of the
+   embedded profiler state;
+5. **consensus** — an instance whose image digest diverges from a
+   quorum-backed consensus for the same key is quarantined (a poisoned
+   or mismatched binary must never steer fleet-wide patches).
+
+Durability reuses :mod:`repro.persist` wholesale: every accepted frame
+is journaled (CRC-framed WAL, own ``fleet.wal`` namespace), state is
+periodically snapshotted through the checksummed snapshot codec, and
+:meth:`FleetDaemon.recover` rebuilds a crashed daemon from newest valid
+snapshot + journal tail — retransmits of already-accepted batches then
+dedup against the recovered seen-sets, so a crash mid-fleet is
+invisible to agents beyond latency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..persist.journal import Disk, JournalWriter, MemoryDisk, scan_journal
+from ..persist.profiledb import empty_entry, merge_entries
+from ..persist.snapshot import SnapshotStore
+from .wire import decode_frame
+
+__all__ = ["FLEET_JOURNAL", "FleetDaemon"]
+
+#: Journal file name inside the daemon's disk namespace (kept distinct
+#: from the per-run checkpoint journal so one disk can host both).
+FLEET_JOURNAL = "fleet.wal"
+
+_ENTRY_COUNTS = ("runs", "cpi_count", "flips")
+_DECISION_FIELDS = ("proven", "rolled_back", "back_branch", "hotness")
+
+
+class FleetDaemon:
+    """Central optimizer service for a fleet of agent instances."""
+
+    def __init__(
+        self,
+        disk: Disk | None = None,
+        quorum: int = 1,
+        snapshot_interval: int = 8,
+        snapshots_kept: int = 3,
+    ) -> None:
+        if quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {quorum}")
+        if snapshot_interval < 1:
+            raise ValueError(
+                f"snapshot_interval must be >= 1, got {snapshot_interval}"
+            )
+        self.disk = disk if disk is not None else MemoryDisk()
+        self.quorum = quorum
+        self.snapshot_interval = snapshot_interval
+        self.snapshots_kept = snapshots_kept
+        #: registered instances (hello received)
+        self.instances: set[str] = set()
+        #: per-instance accepted frame sequence numbers (the dedup set)
+        self.seen: dict[str, set[int]] = {}
+        #: per-instance accepted window batches: ordinal -> content tuple
+        self.windows: dict[str, dict[int, tuple]] = {}
+        #: per-key, per-instance image digests (consensus input)
+        self.digests: dict[str, dict[str, str]] = {}
+        #: per-key, per-instance merged profile entries
+        self.store: dict[str, dict[str, dict]] = {}
+        #: quarantined instances: instance -> first reason
+        self.quarantined: dict[str, str] = {}
+        self.batches_accepted = 0
+        self.crc_rejects = 0
+        self.duplicates = 0
+        self.snapshots_written = 0
+        #: recovery stats when built via :meth:`recover`
+        self.recovered: dict | None = None
+        self.journal = JournalWriter(self.disk, name=FLEET_JOURNAL)
+        self._snapshots = SnapshotStore(self.disk)
+
+    # -- frame ingestion ---------------------------------------------------
+
+    def handle(self, data: bytes) -> dict:
+        """Ingest one wire frame; return the reply payload."""
+        frame = decode_frame(data)
+        if frame is None:
+            self.crc_rejects += 1
+            return {"k": "nack", "reason": "crc"}
+        kind = frame.get("k")
+        instance = frame.get("i")
+        seq = frame.get("n")
+        key = frame.get("key")
+        if (
+            kind not in ("hello", "batch", "profile")
+            or not isinstance(instance, str)
+            or not isinstance(seq, int)
+            or isinstance(seq, bool)
+            or seq < 0
+            or not isinstance(key, str)
+        ):
+            self.crc_rejects += 1
+            return {"k": "nack", "reason": "malformed"}
+        if kind == "hello":
+            return self._handle_hello(frame, instance, key)
+        if instance in self.quarantined:
+            return {"k": "ack", "status": "quarantined"}
+        if seq in self.seen.get(instance, ()):
+            self.duplicates += 1
+            return {"k": "ack", "status": "dup"}
+        if kind == "batch":
+            return self._handle_batch(frame, instance, seq, key)
+        return self._handle_profile(frame, instance, seq, key)
+
+    def _handle_hello(self, frame: dict, instance: str, key: str) -> dict:
+        digest = frame.get("digest")
+        if not isinstance(digest, str) or not digest:
+            self.crc_rejects += 1
+            return {"k": "nack", "reason": "malformed"}
+        fresh = instance not in self.instances
+        changed = self.digests.get(key, {}).get(instance) != digest
+        self.instances.add(instance)
+        self._note_digest(key, instance, digest)
+        if fresh or changed:
+            self.journal.append(
+                "fleet-hello", {"i": instance, "key": key, "digest": digest}
+            )
+        return {
+            "k": "welcome",
+            "entry": self.published_entry(key),
+            "published": self.published_count(key),
+            "quarantined": len(self.quarantined),
+            "instances": len(self.instances),
+        }
+
+    def _handle_batch(self, frame: dict, instance: str, seq: int, key: str) -> dict:
+        from ..hpm.batch import WindowBatch
+
+        try:
+            batch = WindowBatch.from_payload(frame.get("window"))
+        except ValueError as exc:
+            return self._quarantine(instance, f"batch-damage: {exc}")
+        reason = batch.anomaly()
+        if reason is not None:
+            return self._quarantine(instance, reason)
+        content = (batch.retired, batch.samples, batch.quarantined, batch.cpi)
+        accepted = self.windows.setdefault(instance, {})
+        prior = accepted.get(batch.window)
+        if prior is not None and prior != content:
+            # a second, different batch for the same window ordinal:
+            # the stream is rewriting history (cf. stale-index)
+            return self._quarantine(instance, "window-conflict")
+        for ordinal, other in accepted.items():
+            if ordinal < batch.window and other[0] > batch.retired:
+                return self._quarantine(instance, "time-travel")
+            if ordinal > batch.window and other[0] < batch.retired:
+                return self._quarantine(instance, "time-travel")
+        accepted[batch.window] = content
+        self.seen.setdefault(instance, set()).add(seq)
+        self.journal.append(
+            "fleet-batch",
+            {"i": instance, "n": seq, "key": key, "window": batch.to_payload()},
+        )
+        self._accepted_one()
+        return {"k": "ack", "status": "ok"}
+
+    def _handle_profile(self, frame: dict, instance: str, seq: int, key: str) -> dict:
+        entry = frame.get("entry")
+        reason = self._entry_anomaly(entry)
+        if reason is not None:
+            return self._quarantine(instance, reason)
+        digest = frame.get("digest")
+        if not isinstance(digest, str) or not digest:
+            self.crc_rejects += 1
+            return {"k": "nack", "reason": "malformed"}
+        self._note_digest(key, instance, digest)
+        if instance in self.quarantined:
+            # the digest note just quarantined this very stream
+            return {"k": "ack", "status": "quarantined"}
+        slot = self.store.setdefault(key, {})
+        existing = slot.get(instance)
+        slot[instance] = entry if existing is None else merge_entries(existing, entry)
+        self.seen.setdefault(instance, set()).add(seq)
+        self.journal.append(
+            "fleet-profile",
+            {"i": instance, "n": seq, "key": key, "digest": digest, "entry": entry},
+        )
+        self._accepted_one()
+        return {"k": "ack", "status": "ok"}
+
+    # -- defensive admission helpers ---------------------------------------
+
+    def _quarantine(self, instance: str, reason: str) -> dict:
+        if instance not in self.quarantined:
+            self.quarantined[instance] = reason
+            self.journal.append(
+                "fleet-quarantine", {"i": instance, "reason": reason}
+            )
+        return {"k": "ack", "status": "quarantined", "reason": reason}
+
+    def _note_digest(self, key: str, instance: str, digest: str) -> None:
+        slot = self.digests.setdefault(key, {})
+        slot[instance] = digest
+        counts: dict[str, int] = {}
+        for inst, d in slot.items():
+            if inst not in self.quarantined:
+                counts[d] = counts.get(d, 0) + 1
+        if not counts:
+            return
+        best = max(counts.values())
+        winners = [d for d, c in sorted(counts.items()) if c == best]
+        if best < self.quorum or len(winners) != 1:
+            # no digest commands a strict, quorum-backed majority yet
+            return
+        consensus = winners[0]
+        for inst in sorted(slot):
+            if inst not in self.quarantined and slot[inst] != consensus:
+                self._quarantine(inst, "digest-divergence vs fleet consensus")
+
+    def _entry_anomaly(self, entry: object) -> str | None:
+        """Structural validation of a pushed profile entry."""
+        if not isinstance(entry, dict):
+            return "entry-type"
+        for name in _ENTRY_COUNTS:
+            value = entry.get(name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                return f"entry-{name}-range"
+        cpi_total = entry.get("cpi_total")
+        if (
+            not isinstance(cpi_total, (int, float))
+            or isinstance(cpi_total, bool)
+            or not math.isfinite(cpi_total)
+            or cpi_total < 0
+        ):
+            return "entry-cpi_total-range"
+        decisions = entry.get("decisions")
+        if not isinstance(decisions, dict):
+            return "entry-decisions-type"
+        for opts in decisions.values():
+            if not isinstance(opts, dict):
+                return "entry-decisions-type"
+            for rec in opts.values():
+                if not isinstance(rec, dict):
+                    return "entry-decisions-type"
+                for field in _DECISION_FIELDS:
+                    value = rec.get(field)
+                    if (
+                        not isinstance(value, int)
+                        or isinstance(value, bool)
+                        or value < 0
+                    ):
+                        return f"entry-decision-{field}-range"
+        profiler = entry.get("profiler")
+        if profiler is not None:
+            # same validate-then-commit restore the agent itself would
+            # run on this state; a scratch profiler keeps it side-effect
+            # free on the daemon
+            from ..config import CobraConfig
+            from ..core.profiler import SystemProfiler
+            from ..errors import ProfileStateError
+
+            try:
+                SystemProfiler(CobraConfig()).restore_state(profiler)
+            except ProfileStateError as exc:
+                return f"entry-profiler: {exc}"
+        return None
+
+    # -- decision publishing -----------------------------------------------
+
+    def published_entry(self, key: str) -> dict | None:
+        """The quorum-gated entry pushed to agents of ``key``.
+
+        ``None`` until a quorum of independent, non-quarantined
+        instances has contributed profiles.  Decisions are filtered to
+        those with net-proven evidence from at least ``quorum``
+        *distinct* instances — one loud instance, however many runs it
+        folds in, never publishes alone.
+        """
+        per_instance = self.store.get(key, {})
+        contributors = sorted(
+            inst for inst in per_instance if inst not in self.quarantined
+        )
+        if len(contributors) < self.quorum:
+            return None
+        merged = empty_entry()
+        support: dict[tuple[str, str], set[str]] = {}
+        for inst in contributors:
+            merged = merge_entries(merged, per_instance[inst])
+            for head, opts in per_instance[inst].get("decisions", {}).items():
+                for opt, rec in opts.items():
+                    if rec["proven"] > rec["rolled_back"]:
+                        support.setdefault((head, opt), set()).add(inst)
+        decisions: dict[str, dict] = {}
+        for head in sorted(merged["decisions"], key=int):
+            opts = {
+                opt: merged["decisions"][head][opt]
+                for opt in sorted(merged["decisions"][head])
+                if len(support.get((head, opt), ())) >= self.quorum
+            }
+            if opts:
+                decisions[head] = opts
+        merged["decisions"] = decisions
+        return merged
+
+    def published_count(self, key: str) -> int:
+        """Quorum-published (loop, optimization) decisions for ``key``."""
+        entry = self.published_entry(key)
+        if entry is None:
+            return 0
+        return sum(len(opts) for opts in entry["decisions"].values())
+
+    # -- durability ----------------------------------------------------------
+
+    def _accepted_one(self) -> None:
+        self.batches_accepted += 1
+        if self.batches_accepted % self.snapshot_interval == 0:
+            self._snapshots.write(self.batches_accepted, self._state_payload())
+            self._snapshots.prune(self.snapshots_kept)
+            self.snapshots_written += 1
+
+    def _state_payload(self) -> dict:
+        return {
+            "format": 1,
+            "quorum": self.quorum,
+            "instances": sorted(self.instances),
+            "seen": {inst: sorted(s) for inst, s in sorted(self.seen.items())},
+            "windows": {
+                inst: {str(w): list(c) for w, c in sorted(ws.items())}
+                for inst, ws in sorted(self.windows.items())
+            },
+            "digests": {
+                key: dict(sorted(slot.items()))
+                for key, slot in sorted(self.digests.items())
+            },
+            "store": {
+                key: dict(sorted(slot.items()))
+                for key, slot in sorted(self.store.items())
+            },
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "batches_accepted": self.batches_accepted,
+            "journal_seq": self.journal.next_seq,
+        }
+
+    def canonical_state(self) -> bytes:
+        """Canonical bytes of the convergent daemon state.
+
+        Excludes volatile counters (duplicate/reject tallies, journal
+        position): two daemons that ingested the same frames — in any
+        order, with any duplication — must agree on these bytes.
+        """
+        payload = self._state_payload()
+        del payload["journal_seq"]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+    def _restore(self, payload: dict) -> None:
+        self.instances = set(payload.get("instances", []))
+        self.seen = {
+            inst: set(seqs) for inst, seqs in payload.get("seen", {}).items()
+        }
+        self.windows = {
+            inst: {int(w): tuple(c) for w, c in ws.items()}
+            for inst, ws in payload.get("windows", {}).items()
+        }
+        self.digests = {
+            key: dict(slot) for key, slot in payload.get("digests", {}).items()
+        }
+        self.store = {
+            key: dict(slot) for key, slot in payload.get("store", {}).items()
+        }
+        self.quarantined = dict(payload.get("quarantined", {}))
+        self.batches_accepted = payload.get("batches_accepted", 0)
+
+    def _replay(self, record: dict) -> None:
+        """Re-apply one journal record (already validated at accept time)."""
+        kind = record.get("t")
+        if kind == "fleet-hello":
+            self.instances.add(record["i"])
+            self.digests.setdefault(record["key"], {})[record["i"]] = record[
+                "digest"
+            ]
+        elif kind == "fleet-batch":
+            from ..hpm.batch import WindowBatch
+
+            batch = WindowBatch.from_payload(record["window"])
+            self.windows.setdefault(record["i"], {})[batch.window] = (
+                batch.retired,
+                batch.samples,
+                batch.quarantined,
+                batch.cpi,
+            )
+            self.seen.setdefault(record["i"], set()).add(record["n"])
+            self.batches_accepted += 1
+        elif kind == "fleet-profile":
+            slot = self.store.setdefault(record["key"], {})
+            existing = slot.get(record["i"])
+            slot[record["i"]] = (
+                record["entry"]
+                if existing is None
+                else merge_entries(existing, record["entry"])
+            )
+            self.digests.setdefault(record["key"], {})[record["i"]] = record[
+                "digest"
+            ]
+            self.seen.setdefault(record["i"], set()).add(record["n"])
+            self.batches_accepted += 1
+        elif kind == "fleet-quarantine":
+            self.quarantined.setdefault(record["i"], record["reason"])
+
+    @classmethod
+    def recover(
+        cls,
+        disk: Disk,
+        quorum: int = 1,
+        snapshot_interval: int = 8,
+        snapshots_kept: int = 3,
+    ) -> "FleetDaemon":
+        """Rebuild a daemon from its journal + snapshot store.
+
+        Newest valid snapshot first (falling back past corrupt ones),
+        then the journal tail is replayed; a torn final record is
+        truncated away and reported in ``recovered["discarded"]`` —
+        whatever frame it held was never acked, so its agent will
+        retransmit and dedup keeps the replay exact.
+        """
+        daemon = cls(
+            disk=disk,
+            quorum=quorum,
+            snapshot_interval=snapshot_interval,
+            snapshots_kept=snapshots_kept,
+        )
+        load = daemon._snapshots.load_newest()
+        discarded = [f"corrupt snapshot {name}" for name in load.corrupt]
+        discarded.extend(f"stray snapshot temp {name}" for name in load.stray_tmp)
+        replay_from = 0
+        if load.payload is not None:
+            daemon._restore(load.payload)
+            replay_from = load.payload.get("journal_seq", 0)
+        data = (
+            bytes(disk.read(FLEET_JOURNAL)) if disk.exists(FLEET_JOURNAL) else b""
+        )
+        records, valid_len, torn = scan_journal(data)
+        if valid_len < len(data):
+            disk.truncate(FLEET_JOURNAL, valid_len)
+        discarded.extend(torn)
+        replayed = 0
+        next_seq = 0
+        for record in records:
+            next_seq = max(next_seq, record.get("seq", -1) + 1)
+            if record.get("seq", -1) < replay_from:
+                continue
+            daemon._replay(record)
+            replayed += 1
+        daemon.journal = JournalWriter(disk, next_seq=next_seq, name=FLEET_JOURNAL)
+        daemon.recovered = {
+            "snapshot_version": load.version,
+            "replayed": replayed,
+            "discarded": discarded,
+        }
+        return daemon

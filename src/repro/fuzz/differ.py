@@ -1,7 +1,7 @@
 """Differential execution of one scenario across all must-agree axes.
 
-Every generated scenario is executed ten times, each on a fresh
-machine with an identical program build:
+Every generated scenario is executed across eleven must-agree axes,
+each on a fresh machine with an identical program build:
 
 1. ``none``      — plain interpreter, no COBRA (ground truth);
 2. ``adaptive``  — COBRA adaptive, trace JIT on, HPM samples captured;
@@ -26,7 +26,13 @@ machine with an identical program build:
    (cycles change) but outputs must match ground truth;
 10. ``db-corrupt`` — adaptive against axis 9's database with one byte
    flipped; a damaged database must load as absent, so this again
-   matches axis 2 *fully*.
+   matches axis 2 *fully*;
+11. ``fleet-faulted`` — a fleet of two instances (one cold, one warm)
+   against one optimization daemon over a seeded hostile transport
+   (frame drop/dup/reorder/delay/corrupt/poison, partitions, one
+   daemon crash); every per-instance output digest must match ground
+   truth and the fleet's own invariants (idempotent ingestion, crash
+   recovery, fault accounting) must all hold.
 
 ``run_scenario`` is a module-level pure function of its params so the
 sweep fans out over :func:`repro.parallel.run_tasks` and the report
@@ -156,6 +162,54 @@ def _run_axis(
         ledger_accounted=ledger_accounted,
         durable_ops=durable_ops,
     )
+
+
+@dataclass(frozen=True)
+class _ScenarioBuild:
+    """Picklable ``WorkloadSpec.build`` wrapper over the generator."""
+
+    params: ScenarioParams
+
+    def __call__(self, machine):
+        return build_scenario(self.params, machine)
+
+
+@dataclass(frozen=True)
+class _ScenarioMachine:
+    """Picklable machine factory for one scenario's parameters."""
+
+    params: ScenarioParams
+
+    def __call__(self):
+        return scenario_machine(self.params)
+
+
+def _run_fleet_axis(params: ScenarioParams, reference_digest: str):
+    """Axis 11: a fleet of two under a hostile transport schedule."""
+    from ..config import FleetFaultConfig
+    from ..fleet import FleetHarness
+    from ..validate.differential import WorkloadSpec
+
+    faults = FleetFaultConfig(
+        seed=params.fault_seed,
+        frame_rate=0.2,
+        partition_rate=0.25,
+        daemon_crash_batch=3,
+    )
+    harness = FleetHarness(
+        workload=WorkloadSpec(
+            name=f"fuzz-{params.seed}", build=_ScenarioBuild(params), verify=None
+        ),
+        machine=_ScenarioMachine(params),
+        instances=2,
+        quorum=1,
+        faults=faults,
+        optimize_interval=None,   # keep the scenario's own wake interval
+        max_bundles=MAX_BUNDLES,
+        reference_digest=reference_digest,
+        jit=True,
+    )
+    return harness.run(jobs=1)
 
 
 class _TappedDrain:
@@ -292,6 +346,17 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
                 )
                 if want != got:
                     diverge("db-corrupt vs adaptive", observable, want, got)
+
+    if none:
+        try:
+            fleet = _run_fleet_axis(params, none.digest)
+        except Exception as exc:  # noqa: BLE001 — any escape is a finding
+            diverge("fleet-faulted", "exception", "no exception",
+                    f"{type(exc).__name__}: {exc}")
+        else:
+            digests.append(("fleet-faulted", fleet.records[0].digest))
+            for failure in fleet.failures:
+                diverge("fleet-faulted vs none", "fleet", "ok", failure)
 
     return ScenarioResult(
         params=params,

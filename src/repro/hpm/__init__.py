@@ -5,6 +5,7 @@ Data Event Address Registers, and a perfmon-like sampling driver — the
 profile sources COBRA's monitoring threads consume.
 """
 
+from .batch import WindowBatch
 from .btb import BTB_PAIRS, BranchTraceBuffer
 from .counters import COUNTER_MASK, COUNTER_WIDTH, N_COUNTERS, PerformanceCounters
 from .dear import DataEventAddressRegister, DearRecord
@@ -26,4 +27,5 @@ __all__ = [
     "PerfmonDriver",
     "PerfmonSession",
     "Sample",
+    "WindowBatch",
 ]

@@ -1,0 +1,90 @@
+"""Aggregated telemetry batches shipped by fleet agents.
+
+A fleet agent does not forward raw :class:`~repro.hpm.sample.Sample`
+records — at 50+ instances that would be most of the wire traffic for
+data the daemon immediately folds anyway.  Instead the agent's outbox
+aggregates each optimizer window into one :class:`WindowBatch`: the
+window ordinal, the retired-instruction watermark, the sample/quarantine
+deltas the profiler absorbed, and the window CPI.  The daemon treats a
+batch exactly like the profiler treats a sample: untrusted input that
+must pass field-level range checks (:meth:`WindowBatch.anomaly`) before
+it can touch shared state, with cross-batch ordering anomalies (window
+conflicts, retired-count time travel) checked stream-side by the daemon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["WindowBatch"]
+
+
+@dataclass(frozen=True)
+class WindowBatch:
+    """One optimizer window's aggregated HPM telemetry."""
+
+    #: window ordinal within the instance's run (0-based, dense)
+    window: int
+    #: aggregate retired instructions at the wake that closed the window
+    retired: int
+    #: samples the profiler ingested during the window
+    samples: int
+    #: samples the sanitizer quarantined during the window
+    quarantined: int
+    #: window CPI (0.0 = empty window, no signal)
+    cpi: float
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-ready payload for the wire frame."""
+        return {
+            "window": self.window,
+            "retired": self.retired,
+            "samples": self.samples,
+            "quarantined": self.quarantined,
+            "cpi": self.cpi,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "WindowBatch":
+        """Decode a wire payload; raises ``ValueError`` on damage."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"window batch payload must be a dict, got {payload!r}")
+        fields = {}
+        for name, kinds in (
+            ("window", int),
+            ("retired", int),
+            ("samples", int),
+            ("quarantined", int),
+            ("cpi", (int, float)),
+        ):
+            value = payload.get(name)
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                raise ValueError(f"window batch field {name!r} damaged: {value!r}")
+            fields[name] = value
+        return cls(
+            window=fields["window"],
+            retired=fields["retired"],
+            samples=fields["samples"],
+            quarantined=fields["quarantined"],
+            cpi=float(fields["cpi"]),
+        )
+
+    def anomaly(self) -> str | None:
+        """Field-level sanity check; the reason this batch is garbage.
+
+        Mirrors :meth:`repro.hpm.sample.Sample.anomaly`: a batch crossed
+        a fault-injectable transport and a possibly-compromised agent,
+        so the daemon treats every field as untrusted before merging.
+        """
+        if self.window < 0:
+            return "window-range"
+        if self.retired < 0:
+            return "retired-range"
+        if self.samples < 0:
+            return "samples-range"
+        if self.quarantined < 0:
+            return "quarantined-range"
+        if not math.isfinite(self.cpi) or self.cpi < 0.0:
+            return "cpi-range"
+        return None

@@ -35,6 +35,7 @@ from .differential import (
     ALL_STRATEGIES,
     DifferentialHarness,
     DifferentialReport,
+    MachineRecipe,
     RunRecord,
     WorkloadSpec,
     daxpy_spec,
@@ -63,6 +64,7 @@ __all__ = [
     "ALL_STRATEGIES",
     "DifferentialHarness",
     "DifferentialReport",
+    "MachineRecipe",
     "RunRecord",
     "WorkloadSpec",
     "daxpy_spec",

@@ -163,16 +163,56 @@ class TestSummaryGolden:
             "  profile-db: corrupt, 0 entries, seeded 0 loop(s), warm at n/a"
         )
 
+    def test_fleet_line(self):
+        fleet = {"instance": "i03", "instances": 8, "quorum": 2,
+                 "published": 1, "seeded": 1, "batches": 4,
+                 "quarantined": 0, "degraded": False}
+        report = CobraReport(strategy="adaptive", samples=6, deployments=[],
+                             events=[], fleet=fleet)
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 6 samples, 0 active deployment(s)\n"
+            "  fleet[i03]: 8 instance(s), quorum=2, 1 published decision(s), "
+            "seeded 1 decision(s), 4 batch(es) queued, "
+            "0 quarantined stream(s)"
+        )
+
+    def test_fleet_degraded_line(self):
+        fleet = {"instance": "i05", "instances": 8, "quorum": 2,
+                 "published": 0, "seeded": 0, "batches": 4,
+                 "quarantined": 0, "degraded": True,
+                 "degraded_interval": (0, 147_456)}
+        report = CobraReport(strategy="adaptive", samples=6, deployments=[],
+                             events=[], fleet=fleet)
+        assert report.summary().splitlines()[2] == (
+            "  fleet[i05]: degraded local-only [0, 147456] retired "
+            "(daemon unreachable; reconciled at rejoin)"
+        )
+
+    def test_fleet_transport_faults_line_sorts_kinds(self):
+        fleet = {"instance": "i00", "instances": 2, "quorum": 1,
+                 "published": 0, "seeded": 0, "batches": 3,
+                 "quarantined": 0, "degraded": False,
+                 "faults": {"drop_frame": 2, "corrupt_frame": 1}}
+        report = CobraReport(strategy="adaptive", samples=6, deployments=[],
+                             events=[], fleet=fleet)
+        assert report.summary().splitlines()[2] == (
+            "  fleet[i00]: transport faults: corrupt_frame=1, drop_frame=2"
+        )
+
     def test_everything_at_once_orders_lines(self):
         stats = PersistStats(records_written=2, records_replayed=3,
                              records_discarded=0, snapshots_written=1,
                              snapshots_discarded=0, tmp_cleaned=1,
                              journal_repaired_bytes=0, resumed=True)
+        fleet = {"instance": "i01", "instances": 4, "quorum": 2,
+                 "published": 1, "seeded": 1, "batches": 2,
+                 "quarantined": 0, "degraded": False,
+                 "faults": {"dup_frame": 1}}
         report = CobraReport(
             strategy="adaptive", samples=50, deployments=[], events=[],
             mode="monitor-only", quarantined={"time-travel": 1},
             recovery_log=["x"], reclaimed_bundles=2, persist=stats,
-            resumed=True, faults=_ledger(),
+            resumed=True, faults=_ledger(), fleet=fleet,
         )
         assert report.summary().splitlines() == [
             "COBRA strategy=adaptive: 50 samples, 0 active deployment(s)",
@@ -183,6 +223,10 @@ class TestSummaryGolden:
             "  warm restart: resumed from checkpoint (3 record(s) replayed)",
             "  persistence: 2 record(s) written, 1 snapshot(s), "
             "0 discarded-corrupt",
+            "  fleet[i01]: 4 instance(s), quorum=2, 1 published decision(s), "
+            "seeded 1 decision(s), 2 batch(es) queued, "
+            "0 quarantined stream(s)",
+            "  fleet[i01]: transport faults: dup_frame=1",
             "  faults[seed=7]: 3 injected = 2 detected + 1 tolerated "
             "(drop_sample=1, torn_patch=2)",
         ]

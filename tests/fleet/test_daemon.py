@@ -1,0 +1,361 @@
+"""FleetDaemon: idempotent ingestion, defensive admission, quorum
+publishing, and crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fleet.daemon import FLEET_JOURNAL, FleetDaemon
+from repro.fleet.wire import batch_frame, encode_frame, hello_frame, profile_frame
+from repro.persist.journal import MemoryDisk
+from repro.persist.profiledb import empty_entry
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+KEY = "deadbeefdeadbeef/smp-4/adaptive"
+DIGEST = "a" * 16
+
+
+def _window(ordinal: int) -> dict:
+    return {
+        "window": ordinal,
+        "retired": 1000 * (ordinal + 1),
+        "samples": 10,
+        "quarantined": 0,
+        "cpi": 1.5,
+    }
+
+
+def _entry(decisions: dict | None = None, runs: int = 1) -> dict:
+    entry = empty_entry()
+    entry["runs"] = runs
+    entry["cpi_total"] = 1.5
+    entry["cpi_count"] = 1
+    if decisions is not None:
+        entry["decisions"] = decisions
+    return entry
+
+
+DECISIONS = {
+    "64": {
+        "noprefetch": {
+            "proven": 1, "rolled_back": 0, "back_branch": 96, "hotness": 12,
+        }
+    }
+}
+
+
+def _stream(instance: str, n_batches: int = 3, digest: str = DIGEST,
+            decisions: dict | None = DECISIONS) -> list[bytes]:
+    """One agent's full clean wire traffic."""
+    frames = [hello_frame(instance, KEY, digest)]
+    for i in range(n_batches):
+        frames.append(batch_frame(instance, len(frames), KEY, _window(i)))
+    frames.append(
+        profile_frame(instance, len(frames), KEY, digest, _entry(decisions))
+    )
+    return [encode_frame(f) for f in frames]
+
+
+class TestAdmission:
+    def test_clean_stream_accepted(self):
+        daemon = FleetDaemon()
+        for data in _stream("i0"):
+            daemon.handle(data)
+        assert daemon.batches_accepted == 4  # 3 batches + 1 profile
+        assert daemon.crc_rejects == 0
+        assert not daemon.quarantined
+        assert "i0" in daemon.instances
+
+    def test_crc_damage_rejected(self):
+        daemon = FleetDaemon()
+        data = bytearray(_stream("i0")[1])
+        data[len(data) // 2] ^= 0xFF
+        reply = daemon.handle(bytes(data))
+        assert reply == {"k": "nack", "reason": "crc"}
+        assert daemon.crc_rejects == 1
+        assert daemon.batches_accepted == 0
+
+    def test_malformed_payload_rejected(self):
+        daemon = FleetDaemon()
+        reply = daemon.handle(encode_frame({"k": "batch", "i": 3, "n": "x"}))
+        assert reply == {"k": "nack", "reason": "malformed"}
+        assert daemon.crc_rejects == 1
+
+    def test_duplicates_are_noops(self):
+        daemon = FleetDaemon()
+        stream = _stream("i0")
+        for data in stream:
+            daemon.handle(data)
+        state = daemon.canonical_state()
+        for data in stream:
+            daemon.handle(data)
+        assert daemon.canonical_state() == state
+        assert daemon.duplicates == len(stream) - 1  # hello has no seq slot
+
+    def test_hello_welcome_reply(self):
+        daemon = FleetDaemon()
+        reply = daemon.handle(_stream("i0")[0])
+        assert reply["k"] == "welcome"
+        assert reply["entry"] is None  # nothing published yet
+        assert reply["instances"] == 1
+
+
+class TestIdempotence:
+    """Sequence-number dedup makes batch application idempotent under
+    arbitrary duplication and reordering (the satellite property)."""
+
+    @given(
+        order=st.permutations(list(range(5))),
+        dups=st.lists(st.integers(min_value=0, max_value=4), max_size=6),
+    )
+    @settings(max_examples=60, **COMMON)
+    def test_any_dup_reorder_interleaving_converges(self, order, dups):
+        stream = _stream("i0", n_batches=3)  # hello + 3 batches + profile
+        reference = FleetDaemon()
+        for data in stream:
+            reference.handle(data)
+
+        daemon = FleetDaemon()
+        daemon.handle(stream[0])  # hello registers the instance
+        scrambled = [stream[i] for i in order] + [stream[i] for i in dups]
+        for data in scrambled:
+            daemon.handle(data)
+        assert daemon.canonical_state() == reference.canonical_state()
+
+    @given(
+        interleave=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 4)), max_size=20
+        )
+    )
+    @settings(max_examples=60, **COMMON)
+    def test_two_instance_interleavings_converge(self, interleave):
+        streams = {0: _stream("i0"), 1: _stream("i1")}
+        reference = FleetDaemon()
+        for inst in (0, 1):
+            for data in streams[inst]:
+                reference.handle(data)
+
+        daemon = FleetDaemon()
+        delivered = [(inst, idx) for inst, idx in interleave]
+        # ensure full delivery happens at least once, in some order
+        delivered += [(i, n) for i in (0, 1) for n in range(5)]
+        for inst, idx in delivered:
+            daemon.handle(streams[inst][idx])
+        assert daemon.canonical_state() == reference.canonical_state()
+
+
+class TestSanitizer:
+    def test_negative_samples_quarantine(self):
+        daemon = FleetDaemon()
+        daemon.handle(_stream("i0")[0])
+        bad = dict(_window(0), samples=-1)
+        reply = daemon.handle(encode_frame(batch_frame("i0", 1, KEY, bad)))
+        assert reply["status"] == "quarantined"
+        assert daemon.quarantined["i0"] == "samples-range"
+
+    def test_window_conflict_quarantines(self):
+        daemon = FleetDaemon()
+        daemon.handle(encode_frame(batch_frame("i0", 1, KEY, _window(0))))
+        rewrite = dict(_window(0), cpi=9.9)
+        reply = daemon.handle(encode_frame(batch_frame("i0", 2, KEY, rewrite)))
+        assert daemon.quarantined["i0"] == "window-conflict"
+        assert reply["status"] == "quarantined"
+
+    def test_time_travel_quarantines(self):
+        daemon = FleetDaemon()
+        daemon.handle(encode_frame(batch_frame("i0", 1, KEY, _window(1))))
+        backwards = dict(_window(0), retired=99_999)  # window 0 after window 1
+        daemon.handle(encode_frame(batch_frame("i0", 2, KEY, backwards)))
+        assert daemon.quarantined["i0"] == "time-travel"
+
+    def test_damaged_entry_quarantines(self):
+        daemon = FleetDaemon()
+        entry = _entry()
+        entry["cpi_count"] = -1
+        daemon.handle(encode_frame(profile_frame("i0", 0, KEY, DIGEST, entry)))
+        assert daemon.quarantined["i0"] == "entry-cpi_count-range"
+
+    def test_damaged_profiler_state_quarantines(self):
+        daemon = FleetDaemon()
+        entry = _entry()
+        entry["profiler"] = {"not": "a profiler"}
+        daemon.handle(encode_frame(profile_frame("i0", 0, KEY, DIGEST, entry)))
+        assert daemon.quarantined["i0"].startswith("entry-profiler")
+
+    def test_quarantine_is_sticky(self):
+        daemon = FleetDaemon()
+        daemon.handle(_stream("i0")[0])
+        bad = dict(_window(0), samples=-1)
+        daemon.handle(encode_frame(batch_frame("i0", 1, KEY, bad)))
+        # clean frames from the quarantined stream stay refused
+        reply = daemon.handle(encode_frame(batch_frame("i0", 2, KEY, _window(1))))
+        assert reply["status"] == "quarantined"
+        assert daemon.batches_accepted == 0
+
+
+class TestConsensus:
+    def test_divergent_digest_quarantined_once_quorum_backed(self):
+        daemon = FleetDaemon(quorum=2)
+        daemon.handle(encode_frame(hello_frame("i0", KEY, "x" * 16)))
+        # one lone voice is not a consensus yet
+        assert not daemon.quarantined
+        daemon.handle(encode_frame(hello_frame("i1", KEY, DIGEST)))
+        assert not daemon.quarantined
+        daemon.handle(encode_frame(hello_frame("i2", KEY, DIGEST)))
+        assert daemon.quarantined == {
+            "i0": "digest-divergence vs fleet consensus"
+        }
+
+    def test_tied_digests_quarantine_nobody(self):
+        daemon = FleetDaemon(quorum=1)
+        daemon.handle(encode_frame(hello_frame("i0", KEY, "x" * 16)))
+        daemon.handle(encode_frame(hello_frame("i1", KEY, DIGEST)))
+        assert not daemon.quarantined
+
+
+class TestQuorumPublishing:
+    def test_below_quorum_publishes_nothing(self):
+        daemon = FleetDaemon(quorum=2)
+        for data in _stream("i0"):
+            daemon.handle(data)
+        assert daemon.published_entry(KEY) is None
+        assert daemon.published_count(KEY) == 0
+
+    def test_quorum_of_independent_instances_publishes(self):
+        daemon = FleetDaemon(quorum=2)
+        for inst in ("i0", "i1"):
+            for data in _stream(inst):
+                daemon.handle(data)
+        entry = daemon.published_entry(KEY)
+        assert entry is not None
+        assert entry["runs"] == 2
+        assert "64" in entry["decisions"]
+        assert daemon.published_count(KEY) == 1
+
+    def test_one_loud_instance_never_publishes_alone(self):
+        daemon = FleetDaemon(quorum=2)
+        # the same instance folds in many runs: still ONE contributor
+        for data in _stream("i0", decisions=DECISIONS):
+            daemon.handle(data)
+        for i in range(3):
+            daemon.handle(
+                encode_frame(
+                    profile_frame("i0", 10 + i, KEY, DIGEST, _entry(DECISIONS))
+                )
+            )
+        assert daemon.published_entry(KEY) is None
+
+    def test_unsupported_decisions_filtered(self):
+        daemon = FleetDaemon(quorum=2)
+        other = {
+            "128": {
+                "excl": {"proven": 1, "rolled_back": 0,
+                         "back_branch": 160, "hotness": 3}
+            }
+        }
+        for data in _stream("i0", decisions=DECISIONS):
+            daemon.handle(data)
+        for data in _stream("i1", decisions=other):
+            daemon.handle(data)
+        entry = daemon.published_entry(KEY)
+        # two contributors, but no (loop, opt) pair has 2-instance support
+        assert entry is not None and entry["decisions"] == {}
+
+    def test_net_rolled_back_evidence_does_not_support(self):
+        daemon = FleetDaemon(quorum=1)
+        rolled = {
+            "64": {
+                "noprefetch": {"proven": 1, "rolled_back": 2,
+                               "back_branch": 96, "hotness": 12}
+            }
+        }
+        for data in _stream("i0", decisions=rolled):
+            daemon.handle(data)
+        assert daemon.published_entry(KEY)["decisions"] == {}
+
+    def test_quarantined_instances_do_not_contribute(self):
+        daemon = FleetDaemon(quorum=2)
+        for inst in ("i0", "i1"):
+            for data in _stream(inst):
+                daemon.handle(data)
+        assert daemon.published_count(KEY) == 1
+        # i1 is caught lying afterwards: its evidence is withdrawn
+        bad = dict(_window(7), samples=-1)
+        daemon.handle(encode_frame(batch_frame("i1", 9, KEY, bad)))
+        assert daemon.published_entry(KEY) is None
+
+
+class TestRecovery:
+    def _fill(self, daemon: FleetDaemon, instances=("i0", "i1")) -> None:
+        for inst in instances:
+            for data in _stream(inst):
+                daemon.handle(data)
+
+    def test_recover_equals_uncrashed(self):
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, quorum=2, snapshot_interval=3)
+        self._fill(daemon)
+        state = daemon.canonical_state()
+        recovered = FleetDaemon.recover(disk, quorum=2, snapshot_interval=3)
+        assert recovered.canonical_state() == state
+        assert recovered.recovered["replayed"] >= 0
+        assert recovered.published_count(KEY) == 1
+
+    def test_torn_journal_tail_truncated(self):
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, quorum=2, snapshot_interval=3)
+        self._fill(daemon)
+        state = daemon.canonical_state()
+        disk.append(FLEET_JOURNAL, b"\xba\xc0torn tail")
+        recovered = FleetDaemon.recover(disk, quorum=2, snapshot_interval=3)
+        assert recovered.canonical_state() == state
+        assert recovered.recovered["discarded"]
+
+    def test_resumes_mid_fleet(self):
+        # crash after i0, recover, ingest i1: must equal the uncrashed
+        # daemon that saw both streams
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, quorum=2, snapshot_interval=2)
+        self._fill(daemon, instances=("i0",))
+        disk.append(FLEET_JOURNAL, b"half a record")
+        recovered = FleetDaemon.recover(disk, quorum=2, snapshot_interval=2)
+        self._fill(recovered, instances=("i1",))
+
+        reference = FleetDaemon(MemoryDisk(), quorum=2, snapshot_interval=2)
+        self._fill(reference)
+        assert recovered.canonical_state() == reference.canonical_state()
+        assert recovered.published_count(KEY) == 1
+
+    def test_retransmits_after_recovery_dedup(self):
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, quorum=1, snapshot_interval=2)
+        self._fill(daemon, instances=("i0",))
+        recovered = FleetDaemon.recover(disk, quorum=1, snapshot_interval=2)
+        state = recovered.canonical_state()
+        self._fill(recovered, instances=("i0",))  # full retransmit
+        assert recovered.canonical_state() == state
+
+    def test_quarantine_survives_recovery(self):
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, quorum=1)
+        daemon.handle(_stream("i0")[0])
+        bad = dict(_window(0), samples=-1)
+        daemon.handle(encode_frame(batch_frame("i0", 1, KEY, bad)))
+        recovered = FleetDaemon.recover(disk, quorum=1)
+        assert recovered.quarantined == {"i0": "samples-range"}
+        reply = recovered.handle(
+            encode_frame(batch_frame("i0", 2, KEY, _window(1)))
+        )
+        assert reply["status"] == "quarantined"
+
+
+class TestValidation:
+    def test_bad_quorum(self):
+        with pytest.raises(ValueError, match="quorum"):
+            FleetDaemon(quorum=0)
+
+    def test_bad_snapshot_interval(self):
+        with pytest.raises(ValueError, match="snapshot_interval"):
+            FleetDaemon(snapshot_interval=0)

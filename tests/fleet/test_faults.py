@@ -1,0 +1,140 @@
+"""Transport fault schedule and backoff properties.
+
+The two hypothesis-hammered guarantees the rejoin/retry story rests on:
+the backoff schedule is a pure function of its seed (replayable fleet
+runs) and every delay is bounded by the cap (no unbounded stall).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import FleetFaultConfig
+from repro.errors import FaultError
+from repro.faults.injector import (
+    FLEET_FRAME_FAULTS,
+    FLEET_TOLERATED_AT_INJECTION,
+    FaultEvent,
+)
+from repro.fleet.faults import (
+    TransportFaults,
+    backoff_delays,
+    build_ledger,
+    partition_draw,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestBackoffProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           attempts=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=80, **COMMON)
+    def test_deterministic_per_seed(self, seed, attempts):
+        assert backoff_delays(seed, attempts) == backoff_delays(seed, attempts)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           attempts=st.integers(min_value=1, max_value=16),
+           base=st.integers(min_value=1, max_value=32),
+           cap=st.integers(min_value=32, max_value=4096))
+    @settings(max_examples=120, **COMMON)
+    def test_bounded_by_cap_and_exponential_floor(
+        self, seed, attempts, base, cap
+    ):
+        delays = backoff_delays(seed, attempts, base=base, cap=cap)
+        assert len(delays) == attempts
+        for k, delay in enumerate(delays):
+            raw = min(cap, base * 2**min(k, 32))
+            assert raw // 2 <= delay <= raw
+            assert delay <= cap
+
+    def test_longer_schedule_extends_shorter(self):
+        # the same seed's schedule is a prefix-stable stream: asking for
+        # more attempts never changes the earlier delays
+        assert backoff_delays(5, 8)[:3] == backoff_delays(5, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            backoff_delays(0, -1)
+        with pytest.raises(ValueError, match="base"):
+            backoff_delays(0, 1, base=0)
+        with pytest.raises(ValueError, match="cap"):
+            backoff_delays(0, 1, base=8, cap=4)
+
+
+class TestTransportFaults:
+    def test_unknown_kind_rejected(self):
+        config = FleetFaultConfig(kinds=("drop_frame", "melt_wire"))
+        with pytest.raises(FaultError, match="melt_wire"):
+            TransportFaults(config, "i0")
+
+    def test_zero_rate_draws_nothing(self):
+        faults = TransportFaults(FleetFaultConfig(frame_rate=0.0), "i0")
+        assert all(faults.frame_fault() is None for _ in range(50))
+        assert faults.events == []
+
+    def test_schedule_deterministic_per_instance(self):
+        config = FleetFaultConfig(seed=3, frame_rate=0.5)
+        a = TransportFaults(config, "i0")
+        b = TransportFaults(config, "i0")
+        kinds_a = [getattr(a.frame_fault(), "kind", None) for _ in range(30)]
+        kinds_b = [getattr(b.frame_fault(), "kind", None) for _ in range(30)]
+        assert kinds_a == kinds_b
+
+    def test_instances_get_independent_schedules(self):
+        config = FleetFaultConfig(seed=3, frame_rate=0.5)
+        a = TransportFaults(config, "i0")
+        b = TransportFaults(config, "i1")
+        kinds_a = [getattr(a.frame_fault(), "kind", None) for _ in range(30)]
+        kinds_b = [getattr(b.frame_fault(), "kind", None) for _ in range(30)]
+        assert kinds_a != kinds_b
+
+    def test_tolerated_at_injection_classification(self):
+        faults = TransportFaults(FleetFaultConfig(seed=1, frame_rate=1.0), "i0")
+        for _ in range(60):
+            event = faults.frame_fault()
+            assert event is not None
+            if event.kind in FLEET_TOLERATED_AT_INJECTION:
+                assert event.status == "tolerated"
+            else:
+                assert event.status == "injected"
+        assert {e.kind for e in faults.events} == set(FLEET_FRAME_FAULTS)
+
+
+class TestPartitionDraw:
+    def test_deterministic(self):
+        config = FleetFaultConfig(seed=9, partition_rate=0.5)
+        draws = [partition_draw(config, f"i{n}", 0) for n in range(20)]
+        assert draws == [partition_draw(config, f"i{n}", 0) for n in range(20)]
+        assert any(draws) and not all(draws)
+
+    def test_zero_rate_never_partitions(self):
+        config = FleetFaultConfig(seed=9, partition_rate=0.0)
+        assert not any(partition_draw(config, f"i{n}", 0) for n in range(20))
+
+    def test_round_changes_the_draw_stream(self):
+        config = FleetFaultConfig(seed=9, partition_rate=0.5)
+        r0 = [partition_draw(config, f"i{n}", 0) for n in range(20)]
+        r1 = [partition_draw(config, f"i{n}", 1) for n in range(20)]
+        assert r0 != r1
+
+
+class TestBuildLedger:
+    def test_renumbers_and_counts(self):
+        events = [
+            FaultEvent(7, "drop_frame", "fleet", "tolerated"),
+            FaultEvent(7, "corrupt_frame", "fleet", "detected"),
+            FaultEvent(0, "poison_batch", "fleet", "injected"),
+        ]
+        ledger = build_ledger(4, events)
+        assert [e.seq for e in ledger.events] == [0, 1, 2]
+        assert ledger.injected == 3
+        assert ledger.detected == 1 and ledger.tolerated == 1
+        assert ledger.by_kind == {
+            "drop_frame": 1, "corrupt_frame": 1, "poison_batch": 1
+        }
+        assert not ledger.accounted  # the injected poison was never settled
+
+    def test_empty_is_accounted(self):
+        assert build_ledger(0, []).accounted

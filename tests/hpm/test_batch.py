@@ -1,0 +1,63 @@
+"""WindowBatch: wire payload round-trip and untrusted-field checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hpm import WindowBatch
+
+GOOD = WindowBatch(window=3, retired=40_000, samples=25, quarantined=1, cpi=1.5)
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_identity(self):
+        assert WindowBatch.from_payload(GOOD.to_payload()) == GOOD
+
+    def test_int_cpi_coerced_to_float(self):
+        payload = dict(GOOD.to_payload(), cpi=2)
+        batch = WindowBatch.from_payload(payload)
+        assert batch.cpi == 2.0 and isinstance(batch.cpi, float)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            WindowBatch.from_payload([1, 2, 3])
+
+    @pytest.mark.parametrize("field", ["window", "retired", "samples",
+                                       "quarantined", "cpi"])
+    def test_missing_field_rejected(self, field):
+        payload = GOOD.to_payload()
+        del payload[field]
+        with pytest.raises(ValueError, match=field):
+            WindowBatch.from_payload(payload)
+
+    @pytest.mark.parametrize("field,value", [
+        ("window", "3"), ("retired", 1.5), ("samples", None),
+        ("quarantined", True), ("cpi", "1.5"),
+    ])
+    def test_damaged_field_rejected(self, field, value):
+        payload = dict(GOOD.to_payload(), **{field: value})
+        with pytest.raises(ValueError, match=field):
+            WindowBatch.from_payload(payload)
+
+
+class TestAnomaly:
+    def test_clean_batch_has_none(self):
+        assert GOOD.anomaly() is None
+        assert WindowBatch(0, 0, 0, 0, 0.0).anomaly() is None
+
+    @pytest.mark.parametrize("kwargs,reason", [
+        (dict(window=-1), "window-range"),
+        (dict(retired=-1), "retired-range"),
+        (dict(samples=-1), "samples-range"),
+        (dict(quarantined=-3), "quarantined-range"),
+        (dict(cpi=-0.1), "cpi-range"),
+        (dict(cpi=math.nan), "cpi-range"),
+        (dict(cpi=math.inf), "cpi-range"),
+    ])
+    def test_damaged_fields_named(self, kwargs, reason):
+        base = dict(window=3, retired=40_000, samples=25, quarantined=1,
+                    cpi=1.5)
+        base.update(kwargs)
+        assert WindowBatch(**base).anomaly() == reason

@@ -78,3 +78,17 @@ class TestBenchCli:
         assert doc["schema"] == BENCH_SCHEMA
         assert doc["quick"] is True
         assert len(doc["cases"]) == 1
+
+
+class TestRunFleetCase:
+    def test_warm_half_skips_the_ramp(self):
+        from repro.bench import run_fleet_case
+
+        case = run_fleet_case(instances=4, jobs=2)
+        assert case["ok"] and case["digests_match"]
+        assert case["id"].startswith("fleet4/")
+        assert case["published"] >= 1
+        assert case["warm_seeded"]
+        assert case["cold_ramp_retired"] > 0
+        assert case["warm_ramp_retired"] == 0
+        assert case["ramp_reduction_pct"] == 100.0

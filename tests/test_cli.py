@@ -335,7 +335,7 @@ class TestFuzzCli:
         data = json.loads(out_path.read_text())
         assert data["ok"] is True
         assert data["scenarios"][0]["seed"] == 3
-        assert len(data["scenarios"][0]["digests"]) == 9
+        assert len(data["scenarios"][0]["digests"]) == 10
 
 
 class TestRecoveryCli:
@@ -359,3 +359,74 @@ class TestRecoveryCli:
         rc = main(["recovery", "--torn-bytes", "-1"])
         err = capsys.readouterr().err
         assert rc == 2 and "--torn-bytes must be >= 0" in err
+
+
+class TestFleetCli:
+    """`repro fleet`: argument validation and a small end-to-end run."""
+
+    def test_small_clean_fleet(self, capsys, tmp_path):
+        out = tmp_path / "fleet.json"
+        rc = main(["fleet", "--instances", "4", "--jobs", "2",
+                   "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "4 instance(s) (2 cold + 2 warm)" in captured
+        assert "bit-identical to solo reference" in captured
+        assert out.exists()
+        import json
+
+        data = json.loads(out.read_text())
+        assert len(data["records"]) == 4
+        digests = {r["digest"] for r in data["records"]}
+        assert digests == {data["reference_digest"]}
+
+    def test_faulted_fleet_accounts_every_fault(self, capsys):
+        rc = main(["fleet", "--instances", "4", "--fault-seed", "7"])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "faults[fleet]:" in captured
+        assert "recovery: crash at batch" in captured
+
+    def test_bad_instances(self, capsys):
+        rc = main(["fleet", "--instances", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and err.count("\n") == 1
+        assert "--instances must be >= 1" in err
+
+    def test_bad_quorum(self, capsys):
+        rc = main(["fleet", "--quorum", "-1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--quorum must be >= 0" in err
+
+    def test_quorum_exceeding_fleet(self, capsys):
+        rc = main(["fleet", "--instances", "2", "--quorum", "3"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "quorum 3 exceeds --instances 2" in err
+
+    def test_bad_fault_seed(self, capsys):
+        rc = main(["fleet", "--fault-seed", "-1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--fault-seed must be >= 0" in err
+
+    def test_bad_flush_interval(self, capsys):
+        rc = main(["fleet", "--flush-interval", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--flush-interval must be >= 1" in err
+
+    def test_unknown_workload(self, capsys):
+        rc = main(["fleet", "--workload", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown workload 'nope'" in err
+
+    def test_malformed_env_quorum(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_QUORUM", "two")
+        rc = main(["fleet", "--instances", "2"])
+        err = capsys.readouterr().err
+        assert rc == 2 and err.count("\n") == 1
+        assert "REPRO_FLEET_QUORUM must be a positive integer, got 'two'" in err
+
+    def test_env_quorum_applied(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_QUORUM", "1")
+        rc = main(["fleet", "--instances", "2"])
+        captured = capsys.readouterr().out
+        assert rc == 0 and "quorum=1" in captured

@@ -95,3 +95,48 @@ class TestPersistConfig:
         cobra = CobraConfig(persist=PersistConfig(directory="x"))
         assert cobra.persist.directory == "x"
         assert CobraConfig().persist is None
+
+
+class TestFleetConfigs:
+    def test_fault_rates_validated(self):
+        from repro.config import FleetFaultConfig
+
+        with pytest.raises(ValueError, match="frame_rate"):
+            FleetFaultConfig(frame_rate=1.5)
+        with pytest.raises(ValueError, match="partition_rate"):
+            FleetFaultConfig(partition_rate=-0.1)
+        with pytest.raises(ValueError, match="seed"):
+            FleetFaultConfig(seed=-1)
+        with pytest.raises(ValueError, match="daemon_crash_batch"):
+            FleetFaultConfig(daemon_crash_batch=0)
+
+    def test_fault_backoff_validated(self):
+        from repro.config import FleetFaultConfig
+
+        with pytest.raises(ValueError, match="max_attempts"):
+            FleetFaultConfig(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_base"):
+            FleetFaultConfig(backoff_base=0)
+        with pytest.raises(ValueError, match="backoff_cap"):
+            FleetFaultConfig(backoff_base=64, backoff_cap=32)
+
+    def test_agent_config_validated(self):
+        from repro.config import FleetAgentConfig
+
+        with pytest.raises(ValueError, match="instance"):
+            FleetAgentConfig(instance="")
+        with pytest.raises(ValueError, match="instances"):
+            FleetAgentConfig(instance="i0", instances=0)
+        with pytest.raises(ValueError, match="quorum"):
+            FleetAgentConfig(instance="i0", quorum=0)
+        with pytest.raises(ValueError, match="cannot exceed"):
+            FleetAgentConfig(instance="i0", instances=2, quorum=3)
+        with pytest.raises(ValueError, match="flush_interval"):
+            FleetAgentConfig(instance="i0", flush_interval=0)
+
+    def test_cobra_config_carries_fleet(self):
+        from repro.config import FleetAgentConfig
+
+        cobra = CobraConfig(fleet=FleetAgentConfig(instance="i0"))
+        assert cobra.fleet.instance == "i0"
+        assert CobraConfig().fleet is None
