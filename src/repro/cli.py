@@ -13,6 +13,8 @@ Examples::
     python -m repro recovery --workloads daxpy --stride 4
     python -m repro npb cg --profile-db cg.profile.db
     python -m repro warm --workloads daxpy cg
+    python -m repro overload --workloads daxpy --seed 3 --runs 2
+    python -m repro daxpy --trace-cache-budget 96 --overload-seed 7
 """
 
 from __future__ import annotations
@@ -35,6 +37,8 @@ from .bench import (
 )
 from .config import (
     FaultConfig,
+    GovernorConfig,
+    OverloadConfig,
     PersistConfig,
     ProfileDBConfig,
     itanium2_smp,
@@ -115,6 +119,28 @@ def _run_config(args, machine: Machine, meta: dict):
             config or machine.config.cobra,
             profile_db=ProfileDBConfig(path=args.profile_db),
         )
+    budget = getattr(args, "trace_cache_budget", None)
+    overload_seed = getattr(args, "overload_seed", None)
+    if budget is not None or overload_seed is not None:
+        # --overload-seed arms the full mixed schedule (cf. the fleet
+        # --fault-seed flag): every overload category at a moderate
+        # rate, capped so the run can demonstrate recovery
+        overload = (
+            None
+            if overload_seed is None
+            else OverloadConfig(
+                seed=overload_seed,
+                shrink_rate=0.15, flood_rate=0.15,
+                disk_rate=0.15, storm_rate=0.15,
+                max_events=8,
+            )
+        )
+        config = replace(
+            config or machine.config.cobra,
+            governor=GovernorConfig(
+                trace_cache_budget=budget, overload=overload
+            ),
+        )
     return config
 
 
@@ -138,6 +164,34 @@ def _bad_profile_db(args) -> int | None:
         print(
             f"repro: error: --profile-db must name a database file, "
             f"got directory {path!r}",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
+def _bad_governor(args) -> int | None:
+    """Exit code 2 for malformed governor knobs, else None."""
+    budget = getattr(args, "trace_cache_budget", None)
+    seed = getattr(args, "overload_seed", None)
+    if budget is None and seed is None:
+        return None
+    if args.strategy == "baseline":
+        print(
+            "repro: error: --trace-cache-budget/--overload-seed require a "
+            "COBRA strategy (the baseline has no runtime to govern)",
+            file=sys.stderr,
+        )
+        return 2
+    if budget is not None and budget < 1:
+        print(
+            f"repro: error: --trace-cache-budget must be >= 1, got {budget}",
+            file=sys.stderr,
+        )
+        return 2
+    if seed is not None and seed < 0:
+        print(
+            f"repro: error: --overload-seed must be >= 0, got {seed}",
             file=sys.stderr,
         )
         return 2
@@ -168,6 +222,8 @@ def _cmd_daxpy(args) -> int:
         )
         return 2
     bad = _bad_profile_db(args)
+    if bad is None:
+        bad = _bad_governor(args)
     if bad is not None:
         return bad
     machine, threads = _machine(args)
@@ -196,6 +252,8 @@ def _cmd_npb(args) -> int:
         )
         return 2
     bad = _bad_profile_db(args)
+    if bad is None:
+        bad = _bad_governor(args)
     if bad is not None:
         return bad
     bench = BENCHMARKS[args.benchmark]
@@ -391,6 +449,52 @@ def _cmd_chaos(args) -> int:
         if not report.ok:
             failures += 1
     print("chaos:", "OK" if failures == 0 else f"{failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_overload(args) -> int:
+    # deferred: the governor package pulls in the whole runtime stack
+    from .governor import OVERLOAD_SCHEDULES, OverloadHarness
+
+    bad = _bad_jobs(args.jobs)
+    if bad is not None:
+        return bad
+    if args.seed < 0:
+        print(f"repro: error: --seed must be >= 0, got {args.seed}", file=sys.stderr)
+        return 2
+    if args.runs < 1:
+        print(f"repro: error: --runs must be >= 1, got {args.runs}", file=sys.stderr)
+        return 2
+    schedules = None
+    if args.schedules:
+        for name in args.schedules:
+            if name not in OVERLOAD_SCHEDULES:
+                print(
+                    f"repro: error: unknown schedule {name!r} "
+                    f"(choose from: {', '.join(sorted(OVERLOAD_SCHEDULES))})",
+                    file=sys.stderr,
+                )
+                return 2
+        schedules = {name: OVERLOAD_SCHEDULES[name] for name in args.schedules}
+    seeds = tuple(range(args.seed, args.seed + args.runs))
+    machines = default_machines(args.threads, scale=args.scale)
+    failures = 0
+    for name in args.workloads:
+        if name == "daxpy":
+            spec = daxpy_spec(n_threads=args.threads, reps=args.reps)
+        elif name in BENCHMARKS:
+            spec = npb_spec(name, n_threads=args.threads, reps=args.reps)
+        else:
+            print(f"unknown workload {name!r}", file=sys.stderr)
+            return 2
+        harness = OverloadHarness(
+            spec, machines, schedules=schedules, seeds=seeds
+        )
+        report = harness.run(jobs=args.jobs)
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+    print("overload:", "OK" if failures == 0 else f"{failures} failure(s)")
     return 0 if failures == 0 else 1
 
 
@@ -743,6 +847,18 @@ def _parser() -> argparse.ArgumentParser:
         "cross-run database file at PATH; a later run of the same binary "
         "on the same machine config warm-starts from it",
     )
+    common.add_argument(
+        "--trace-cache-budget", type=int, default=None, metavar="N",
+        help="arm the resource governor with a hard cap of N trace-cache "
+        "bundles; cold inactive traces are evicted first, then further "
+        "deployments are refused (accounted, never fatal)",
+    )
+    common.add_argument(
+        "--overload-seed", type=int, default=None, metavar="SEED",
+        help="attack the run with a seeded overload schedule (budget "
+        "shrinks, sample floods, slow disk, ingest storms); outputs must "
+        "stay bit-identical while the degradation ladder sheds load",
+    )
 
     daxpy = sub.add_parser("daxpy", parents=[common], help="run the OpenMP DAXPY kernel")
     daxpy.add_argument("--working-set", choices=("128K", "512K", "2M"), default="128K")
@@ -831,6 +947,39 @@ def _parser() -> argparse.ArgumentParser:
         "(reports are byte-identical at any N)",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    overload = sub.add_parser(
+        "overload",
+        help="run seeded overload sweeps: under shrinking budgets, sample "
+        "floods, slow disks, and ingest storms the degradation ladder may "
+        "only shed optimization work — outputs must stay bit-identical to "
+        "the clean run and every shed item must be accounted",
+    )
+    overload.add_argument(
+        "--workloads", nargs="+", default=["daxpy", "cg"],
+        help="'daxpy' and/or NPB benchmark names",
+    )
+    overload.add_argument("--seed", type=int, default=0, help="first PRNG seed")
+    overload.add_argument(
+        "--runs", type=int, default=2,
+        help="overload schedules per (machine, schedule) cell: "
+        "seeds seed..seed+runs-1",
+    )
+    overload.add_argument("--threads", type=int, default=4)
+    overload.add_argument(
+        "--reps", type=int, default=4, help="outer repetitions per run"
+    )
+    overload.add_argument(
+        "--schedules", nargs="+", default=None, metavar="SCHEDULE",
+        help="named overload presets to sweep "
+        "(default: shrink flood storm everything)",
+    )
+    overload.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan scenario cells over N worker processes "
+        "(reports are byte-identical at any N)",
+    )
+    overload.set_defaults(func=_cmd_overload)
 
     resume = sub.add_parser(
         "resume",
@@ -1075,6 +1224,9 @@ def _validate_env() -> str | None:
     jit = os.environ.get("REPRO_TRACE_JIT", "").strip()
     if jit and jit not in ("0", "1"):
         return f"REPRO_TRACE_JIT must be '0' or '1', got {jit!r}"
+    gov = os.environ.get("REPRO_GOVERNOR", "").strip()
+    if gov and gov not in ("0", "1"):
+        return f"REPRO_GOVERNOR must be '0' or '1', got {gov!r}"
     db = os.environ.get("REPRO_PROFILE_DB", "").strip()
     if db and os.path.isdir(db):
         return (

@@ -34,6 +34,8 @@ __all__ = [
     "FleetAgentConfig",
     "PersistConfig",
     "ProfileDBConfig",
+    "OverloadConfig",
+    "GovernorConfig",
     "CobraConfig",
     "MachineConfig",
     "itanium2_smp",
@@ -338,6 +340,122 @@ class ProfileDBConfig:
 
 
 @dataclass(frozen=True)
+class OverloadConfig:
+    """Deterministic overload-injection plan (:mod:`repro.governor`).
+
+    Attached to :attr:`GovernorConfig.overload` (default ``None`` = no
+    injection).  All draws come from one PRNG seeded by ``seed`` —
+    *separate* from the fault injector's PRNG, so arming overload never
+    perturbs an armed fault schedule.  Rates are per optimizer wake:
+    ``shrink_rate`` multiplies the trace-cache budget by
+    ``shrink_factor`` (clamped at the governor's floor), ``flood_rate``
+    makes monitors deliver ``flood_factor`` copies of each sample for
+    ``flood_windows`` wakes, ``disk_rate`` charges synthetic slow-disk
+    latency pressure, and ``storm_rate`` charges synthetic daemon
+    ingest-queue pressure.  ``max_events`` caps total injections (0 =
+    unlimited) so a schedule quiesces and the ladder can recover.
+    """
+
+    seed: int = 0
+    #: per-wake probability of a mid-run trace-cache budget shrink
+    shrink_rate: float = 0.0
+    #: per-wake probability of starting an HPM sample flood
+    flood_rate: float = 0.0
+    #: per-wake probability of a slow-disk latency spike
+    disk_rate: float = 0.0
+    #: per-wake probability of a daemon ingest storm
+    storm_rate: float = 0.0
+    #: budget multiplier applied by each shrink event
+    shrink_factor: float = 0.5
+    #: sample multiplication during a flood (2 = every sample doubled)
+    flood_factor: int = 3
+    #: optimizer wakes a flood lasts
+    flood_windows: int = 2
+    #: total injection cap across all categories (0 = unlimited)
+    max_events: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("shrink_rate", "flood_rate", "disk_rate", "storm_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be a non-negative integer, got {self.seed}")
+        if not 0.0 < self.shrink_factor < 1.0:
+            raise ValueError(
+                f"shrink_factor must be in (0, 1), got {self.shrink_factor}"
+            )
+        if self.flood_factor < 2:
+            raise ValueError(f"flood_factor must be >= 2, got {self.flood_factor}")
+        if self.flood_windows < 1:
+            raise ValueError(f"flood_windows must be >= 1, got {self.flood_windows}")
+        if self.max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {self.max_events}")
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Resource-governor attachment (:mod:`repro.governor`).
+
+    Attached to :attr:`CobraConfig.governor` (default ``None`` = no
+    governor, zero overhead, bit-identical runs).  The governor puts an
+    explicit budget on every structure that would otherwise grow without
+    bound — trace-cache bundles (cold-first eviction instead of
+    permanent refusal), HPM sample-queue depth (drop-oldest with ledger
+    accounting), profile-database entries (cold-key compaction at
+    save), and the fleet outbox — and drives a five-rung
+    graceful-degradation ladder (``full → no-new-compiles →
+    monitor-only → frozen → off``) with hysteresis: escalate one rung
+    per wake while pressure is at or above ``escalate_pressure``,
+    recover one rung only after ``recovery_windows`` consecutive wakes
+    at or below ``recover_pressure``.  Degradation only ever forgoes
+    optimization; output semantics never change.
+    """
+
+    #: trace-cache bundle budget (``None`` = the cache's own capacity;
+    #: eviction-instead-of-refusal still applies)
+    trace_cache_budget: int | None = None
+    #: per-monitor sample-queue depth before drop-oldest backpressure
+    sample_queue_depth: int = 4096
+    #: profile-database entry count kept by compaction at save
+    profile_db_entries: int = 256
+    #: fleet-outbox window batches kept before shedding the oldest
+    outbox_batches: int = 1024
+    #: overload shrink events never push the trace budget below this
+    budget_floor: int = 64
+    #: pressure at or above this escalates one rung per wake
+    escalate_pressure: float = 0.85
+    #: pressure at or below this counts toward recovery
+    recover_pressure: float = 0.60
+    #: consecutive calm wakes required before recovering one rung
+    recovery_windows: int = 3
+    #: seeded overload-injection plan (``None`` = no injection)
+    overload: OverloadConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_cache_budget is not None and self.trace_cache_budget < 1:
+            raise ValueError(
+                f"trace_cache_budget must be >= 1, got {self.trace_cache_budget}"
+            )
+        for name in ("sample_queue_depth", "profile_db_entries",
+                     "outbox_batches", "budget_floor", "recovery_windows"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        for name in ("escalate_pressure", "recover_pressure"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.recover_pressure >= self.escalate_pressure:
+            # the hysteresis band must be non-empty or the ladder would
+            # oscillate on a pressure level sitting exactly at the edge
+            raise ValueError(
+                f"recover_pressure ({self.recover_pressure}) must be below "
+                f"escalate_pressure ({self.escalate_pressure})"
+            )
+
+
+@dataclass(frozen=True)
 class CobraConfig:
     """COBRA runtime parameters (sampling, filtering, policy)."""
 
@@ -391,6 +509,11 @@ class CobraConfig:
     #: run.  Set by the fleet harness, never from the environment: the
     #: daemon echo inside it is meaningless outside a fleet dispatch.
     fleet: FleetAgentConfig | None = None
+    #: Resource governor (:mod:`repro.governor`); ``None`` disables it
+    #: entirely.  The ``REPRO_GOVERNOR`` environment variable (``"1"``
+    #: arms a default-budget governor, ``"0"`` leaves it off) overrides
+    #: this at ``Cobra`` construction.
+    governor: GovernorConfig | None = None
     #: Optimizer watchdog: after this many fault strikes (failed
     #: deployments, monitor deaths, quarantine surges, recorded
     #: invariant violations) the optimizer reverts every active

@@ -26,7 +26,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..config import CobraConfig, FaultConfig, PersistConfig, ProfileDBConfig
+from ..config import (
+    CobraConfig,
+    FaultConfig,
+    GovernorConfig,
+    PersistConfig,
+    ProfileDBConfig,
+)
 from ..cpu.machine import Machine
 from ..cpu.scheduler import Scheduler
 from ..errors import CobraError, InvariantViolation, ProfileStateError
@@ -88,6 +94,10 @@ class CobraReport:
     #: seeded decisions, queued batches, transport fault counts) when
     #: ``CobraConfig.fleet`` attached this run to a fleet
     fleet: dict | None = None
+    #: resource-governor block (rung, budgets, shed/evicted/refused
+    #: counts, ladder transitions) when ``CobraConfig.governor``
+    #: attached a governor (:mod:`repro.governor`)
+    governor: dict | None = None
 
     def summary(self) -> str:
         lines = [
@@ -168,6 +178,14 @@ class CobraReport:
                 lines.append(
                     f"  fleet[{fl['instance']}]: transport faults: {counts}"
                 )
+        if self.governor is not None:
+            g = self.governor
+            lines.append(
+                f"  governor[{g['rung']}]: {g['deploys_refused']} deploy(s) "
+                f"refused, {g['evictions']} eviction(s), "
+                f"{g['shed_samples']} shed sample(s), "
+                f"{len(g['transitions'])} transition(s)"
+            )
         if self.faults is not None:
             lines.append(f"  {self.faults.summary()}")
         if self.fastpath is not None and self.fastpath.get("compiles"):
@@ -223,6 +241,17 @@ def _persistence(
     return PersistenceManager(persist_config, faults)
 
 
+def _governor_config(config: CobraConfig) -> GovernorConfig | None:
+    """The governor plan from config, with the env-var override."""
+    gov_config = config.governor
+    env = os.environ.get("REPRO_GOVERNOR", "").strip()
+    if env:
+        if env not in ("0", "1"):
+            raise CobraError(f"REPRO_GOVERNOR must be '0' or '1', got {env!r}")
+        gov_config = GovernorConfig() if env == "1" else None
+    return gov_config
+
+
 def _profile_db(config: CobraConfig) -> ProfileDB | None:
     """Build the cross-run profile DB from config, with the env override."""
     db_config = config.profile_db
@@ -266,6 +295,21 @@ class Cobra:
             machine, program, self.monitors, self.trace_cache, self.config,
             strategy, faults=self.faults,
         )
+        # resource governor (repro.governor): wired like the persistence
+        # manager — every governed structure holds a reference, None
+        # anywhere means ungoverned, bit-identical behaviour
+        gov_config = _governor_config(self.config)
+        self.governor = None
+        if gov_config is not None:
+            from ..governor.core import ResourceGovernor
+
+            self.governor = ResourceGovernor(
+                gov_config, self.config.trace_cache_bundles, faults=self.faults
+            )
+            self.trace_cache.governor = self.governor
+            for monitor in self.monitors:
+                monitor.governor = self.governor
+            self.optimizer.governor = self.governor
         # invariant checking (repro.validate): the config knob, overridable
         # per-process so CI can run any example/benchmark under strict mode
         mode = os.environ.get("REPRO_VALIDATE", "").strip() or self.config.validate
@@ -396,12 +440,31 @@ class Cobra:
                 self.profile_db.record_run(
                     self._profile_key, self.optimizer.export_profile_entry()
                 )
+                if self.governor is not None:
+                    # cold-key compaction at snapshot time: the entry
+                    # budget is enforced on what actually hits disk
+                    self.governor.note_compacted(
+                        self.profile_db.compact(
+                            self.governor.config.profile_db_entries
+                        )
+                    )
                 self.profile_db.save()
 
     def report(self) -> CobraReport:
         from ..bench import fastpath_stats
 
         profiler = self.optimizer.profiler
+        ledger = self.faults.ledger() if self.faults is not None else None
+        if (
+            ledger is None
+            and self.governor is not None
+            and self.governor.private_ledger
+            and self.governor.faults.events
+        ):
+            # no chaos injector was armed, but the governor recorded
+            # overload events and shed/evicted accounting in its private
+            # ledger — surface it so the full-accounting contract holds
+            ledger = self.governor.faults.ledger()
         return CobraReport(
             fastpath=fastpath_stats(self.machine),
             strategy=self.strategy,
@@ -413,7 +476,7 @@ class Cobra:
             mode=self.optimizer.mode,
             quarantined=dict(profiler.quarantined),
             recovery_log=list(self.trace_cache.recovery_log),
-            faults=self.faults.ledger() if self.faults is not None else None,
+            faults=ledger,
             reclaimed_bundles=self.trace_cache.reclaimed_bundles,
             persist=self.persist.stats if self.persist is not None else None,
             resumed=self.resumed,
@@ -421,6 +484,7 @@ class Cobra:
             profile_db=self._profile_db_report(),
             ramp_retired=self.optimizer.warm_at_retired,
             fleet=self._fleet_report(),
+            governor=self.governor.report() if self.governor is not None else None,
         )
 
     def _fleet_report(self) -> dict | None:

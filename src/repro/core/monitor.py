@@ -72,6 +72,10 @@ class MonitoringThread:
         # [countdown, sample] pairs held back by a late_sample fault
         self._delayed: list[list] = []
         self._running = False
+        #: resource governor (:mod:`repro.governor`); wired by the
+        #: framework after construction, ``None`` = the plain
+        #: ``USB_CAPACITY`` ring with no shed accounting
+        self.governor = None
 
     def start(self) -> None:
         """Program the PMU and arm sampling (the thread 'attaches')."""
@@ -126,6 +130,12 @@ class MonitoringThread:
                 if sample is None:
                     return
         self._deliver(sample)
+        if self.governor is not None:
+            # overload flood: the sample lands extra times; the
+            # profiler's ordering check quarantines the duplicates and
+            # the governed cap sheds whatever the queue cannot hold
+            for _ in range(self.governor.flood_extra()):
+                self._deliver(sample)
 
     def _apply_fault(self, event: "FaultEvent", sample: Sample) -> Sample | None:
         kind = event.kind
@@ -153,10 +163,15 @@ class MonitoringThread:
     def _deliver(self, sample: Sample) -> None:
         self.usb.append(sample)
         self.samples_taken += 1
-        if len(self.usb) > USB_CAPACITY:
-            lost = len(self.usb) - USB_CAPACITY
+        capacity = USB_CAPACITY
+        if self.governor is not None:
+            capacity = min(capacity, self.governor.sample_budget)
+        if len(self.usb) > capacity:
+            lost = len(self.usb) - capacity
             if self.faults is not None:
                 self.faults.samples_lost(self.usb[:lost])
+            if self.governor is not None:
+                self.governor.note_shed_samples(lost, self.core.cpu_id)
             del self.usb[:lost]
         if self._delayed:
             due = []

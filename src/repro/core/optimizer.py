@@ -140,6 +140,9 @@ class OptimizationThread:
         #: observational — it reads the profiler and window CPI at each
         #: wake and never feeds anything back into this run.
         self.outbox = None
+        #: resource governor (:mod:`repro.governor`); wired by the
+        #: framework after construction, ``None`` = ungoverned
+        self.governor = None
 
     def watch_violations(self, source: Callable[[], int]) -> None:
         """Register a recorded-violation counter for the watchdog."""
@@ -244,9 +247,64 @@ class OptimizationThread:
 
     # -- one optimizer wake-up -----------------------------------------------------
 
+    def _governor_wake(self, retired: int) -> bool:
+        """Governor step at the top of each wake; ``True`` = rung off.
+
+        Rung effects are applied *idempotently* every wake, not only on
+        transitions — the watchdog may have restarted a dead monitor
+        during ``frozen``, or a warm path may have deployed before the
+        governor first observed pressure; re-asserting the rung each
+        wake keeps the runtime consistent with it regardless.
+        """
+        gov = self.governor
+        before = gov.rung
+        rung = gov.on_wake(retired, self.trace_cache, self.outbox)
+        if rung != before:
+            from ..governor.ladder import RUNGS
+
+            kind = "degrade" if RUNGS.index(rung) > RUNGS.index(before) else "recover"
+            self._log(
+                OptEvent(
+                    retired, kind, None, None,
+                    f"governor: {before} -> {rung} "
+                    f"(pressure {gov.last_pressure:.2f})",
+                )
+            )
+        if rung in ("monitor-only", "frozen", "off"):
+            for deployment in self.trace_cache.deployments:
+                if deployment.active:
+                    self.trace_cache.rollback(self.program, deployment)
+                    self._log(
+                        OptEvent(
+                            retired, "rollback", deployment.loop.head,
+                            deployment.optimization,
+                            f"governor rung {rung}: deployment reverted",
+                        )
+                    )
+            self._pending_eval = None
+        if rung in ("frozen", "off"):
+            for monitor in self.monitors:
+                if monitor.running:
+                    monitor.stop()
+        else:
+            for monitor in self.monitors:
+                if not monitor.running and not monitor.dead:
+                    monitor.start()
+        if rung == "off":
+            # governed blackout: no ingest, no deploys, no telemetry;
+            # the window resets so the next governed wake starts clean
+            self._window = _Window(
+                self.machine.total_cycles(), self.machine.total_retired()
+            )
+            self.profiler.new_window()
+            return True
+        return False
+
     def wake(self) -> None:
         retired = self.machine.total_retired()
         self._watchdog(retired)
+        if self.governor is not None and self._governor_wake(retired):
+            return
         self.profiler.ingest(self.monitors)
 
         # evaluate the previous deployment's effect (re-adaptation):
@@ -334,7 +392,9 @@ class OptimizationThread:
             self._persist_wake()
             return
 
-        if self.mode == "normal":
+        if self.mode == "normal" and (
+            self.governor is None or self.governor.rung == "full"
+        ):
             self._deploy_one(retired, ratio)
 
         self._outbox_flush(retired, window_cpi)

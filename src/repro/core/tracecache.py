@@ -85,6 +85,7 @@ class TraceVersion:
     n_rewrites: int
     n_bundles: int              # body + exit-branch bundle
     source: tuple               # Bundle objects of [head, end_bundle]
+    last_used: int = 0          # activation clock tick (cold-first eviction)
 
 
 @dataclass
@@ -134,10 +135,30 @@ class TraceCache:
         #: persistence manager (:mod:`repro.persist`); wired by the
         #: framework after construction, ``None`` = no journaling
         self.persist = None
+        #: resource governor (:mod:`repro.governor`); wired by the
+        #: framework after construction, ``None`` = hard-refuse at
+        #: capacity exactly as before
+        self.governor = None
+        #: activation clock for cold-first eviction ordering
+        self._use_clock = 0
 
     @property
     def used_bundles(self) -> int:
         return len(self.image)
+
+    @property
+    def active_bundles(self) -> int:
+        """Bundles held by *live* versions — the irreducible footprint.
+
+        Cold resident copies are reclaimable by eviction at any time;
+        only the live versions pin capacity (a thread may be executing
+        them), so this is what the governor's trace pressure measures.
+        """
+        return sum(
+            vs.versions[vs.active].n_bundles
+            for vs in self.version_sets.values()
+            if vs.active != UNTOUCHED and vs.active in vs.versions
+        )
 
     def is_deployed(self, head: int) -> bool:
         return any(d.active and d.loop.head == head for d in self.deployments)
@@ -169,6 +190,41 @@ class TraceCache:
                 }
             )
         return out
+
+    def evict_cold(self, target_used: int) -> list[tuple[int, str, int]]:
+        """Free inactive resident copies, coldest first, until
+        ``used_bundles <= target_used`` (or nothing evictable remains).
+
+        Returns ``(head, optimization, n_bundles)`` per victim.  Victim
+        order is a pure function of cache state — ``(last_used, head,
+        optimization)`` ascending — so the same pressure schedule evicts
+        the same victims in the same order at any worker count.  Only
+        *inactive* versions are candidates: the live copy of a loop is
+        irreducible (a thread may be executing it), and the image never
+        reuses freed holes, so no stale redirect can alias an evicted
+        address.
+        """
+        victims: list[tuple[int, str, int]] = []
+        if self.used_bundles <= target_used:
+            return victims
+        candidates = sorted(
+            (version.last_used, head, opt)
+            for head, vs in self.version_sets.items()
+            for opt, version in vs.versions.items()
+            if opt != vs.active
+        )
+        for _, head, opt in candidates:
+            if self.used_bundles <= target_used:
+                break
+            vs = self.version_sets[head]
+            version = vs.versions.pop(opt)
+            self.image.free(version.entry, version.n_bundles)
+            self.recovery_log.append(
+                f"evict: cold {opt} trace for loop {head:#x} freed "
+                f"({version.n_bundles} bundle(s))"
+            )
+            victims.append((head, opt, version.n_bundles))
+        return victims
 
     def overlaps_active(self, head: int, end: int) -> bool:
         """Would a [head, end] deployment overlap an active one?"""
@@ -208,6 +264,15 @@ class TraceCache:
                 f"trace cache full ({self.used_bundles}/{self.capacity} bundles; "
                 "injected exhaustion)"
             )
+        if self.governor is not None:
+            needed = loop.n_bundles + 1  # + exit branch bundle
+            if not self.governor.admit_deploy(self.active_bundles, needed):
+                self.governor.note_refused(loop.head, needed)
+                raise TraceCacheError(
+                    f"deploy of loop {loop.head:#x} refused: live trace usage "
+                    f"{self.active_bundles}+{needed} exceeds governed headroom "
+                    f"(budget {self.governor.trace_budget})"
+                )
         resident = self._fresh_resident(program, loop, optimization, fault)
         built_fresh = resident is None
         if resident is not None:
@@ -218,9 +283,20 @@ class TraceCache:
             n_rewrites = resident.n_rewrites
         else:
             n_bundles = loop.n_bundles + 1  # + exit branch bundle
-            if self.used_bundles + n_bundles > self.capacity:
+            budget = self.capacity
+            if self.governor is not None:
+                budget = min(budget, self.governor.trace_budget)
+                if self.used_bundles + n_bundles > budget:
+                    # cold-first eviction instead of permanent refusal:
+                    # free inactive resident copies until the trace fits
+                    evicted = self.evict_cold(budget - n_bundles)
+                    if evicted:
+                        self.governor.note_evicted(evicted)
+            if self.used_bundles + n_bundles > budget:
+                if self.governor is not None:
+                    self.governor.note_refused(loop.head, n_bundles)
                 raise TraceCacheError(
-                    f"trace cache full ({self.used_bundles}/{self.capacity} bundles)"
+                    f"trace cache full ({self.used_bundles}/{budget} bundles)"
                 )
 
             snapshot_version = program.version
@@ -383,6 +459,8 @@ class TraceCache:
             vs = VersionSet(loop=loop)
             self.version_sets[loop.head] = vs
         vs.versions[version.optimization] = version
+        self._use_clock += 1
+        version.last_used = self._use_clock
         if vs.ever_active and vs.active != version.optimization:
             vs.flips += 1
         vs.active = version.optimization

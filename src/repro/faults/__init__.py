@@ -29,6 +29,7 @@ from .injector import (
     FLEET_FRAME_FAULTS,
     FLEET_TOLERATED_AT_INJECTION,
     LOOP_FAULTS,
+    OVERLOAD_FAULTS,
     PATCH_FAULTS,
     PERSIST_FAULTS,
     SAMPLE_FAULTS,
@@ -45,6 +46,7 @@ __all__ = [
     "FLEET_FRAME_FAULTS",
     "FLEET_TOLERATED_AT_INJECTION",
     "LOOP_FAULTS",
+    "OVERLOAD_FAULTS",
     "PATCH_FAULTS",
     "PERSIST_FAULTS",
     "SAMPLE_FAULTS",

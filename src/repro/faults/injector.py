@@ -54,6 +54,7 @@ __all__ = [
     "PERSIST_FAULTS",
     "FLEET_FRAME_FAULTS",
     "FLEET_FAULTS",
+    "OVERLOAD_FAULTS",
     "ALL_FAULTS",
     "TOLERATED_AT_INJECTION",
     "FLEET_TOLERATED_AT_INJECTION",
@@ -101,6 +102,15 @@ FLEET_FRAME_FAULTS = (
 #: and round) and a daemon kill after the Nth accepted batch.  Like
 #: ``PERSIST_FAULTS`` these are never drawn per opportunity.
 FLEET_FAULTS = FLEET_FRAME_FAULTS + ("partition", "daemon_crash")
+#: Overload faults injected by :mod:`repro.governor` (rates in
+#: :class:`~repro.config.OverloadConfig`).  Drawn from the governor's
+#: *own* PRNG, never this injector's — arming overload must not perturb
+#: an armed fault schedule — and entered into the ledger via
+#: :meth:`FaultInjector.inject` (no draw).  ``slow_disk`` is latency
+#: only, tolerated at injection; the other three require a recorded
+#: governor response (budget clamp, shed accounting, rung change) to
+#: become accounted.
+OVERLOAD_FAULTS = ("budget_shrink", "sample_flood", "slow_disk", "ingest_storm")
 ALL_FAULTS = SAMPLE_FAULTS + PATCH_FAULTS + LOOP_FAULTS + PERSIST_FAULTS
 
 #: Faults that cannot hurt correctness no matter what the runtime does:
@@ -306,6 +316,22 @@ class FaultInjector:
         process, so the finding and the detection are the same moment.
         """
         event = FaultEvent(len(self.events), kind, surface, _DETECTED, note)
+        self.events.append(event)
+        return event
+
+    def inject(
+        self, kind: str, surface: str, note: str = "", tolerated: bool = False
+    ) -> FaultEvent:
+        """Enter an externally-drawn fault into the ledger (no draw).
+
+        The overload injector draws its schedule from its own PRNG and
+        only *records* here, so the event sequence stays deterministic
+        without coupling the two schedules.  ``tolerated=True``
+        classifies at injection (latency-only faults); otherwise the
+        event must be settled via :meth:`detected`/:meth:`tolerated`.
+        """
+        status = _TOLERATED if tolerated else _INJECTED
+        event = FaultEvent(len(self.events), kind, surface, status, note)
         self.events.append(event)
         return event
 

@@ -16,7 +16,7 @@ the daemon defers its scratch-profiler validation import.
 """
 
 from .agent import InstanceResult, InstanceSpec, run_instance
-from .daemon import FLEET_JOURNAL, FleetDaemon
+from .daemon import FLEET_JOURNAL, FleetDaemon, SeenSet
 from .faults import TransportFaults, backoff_delays, build_ledger, partition_draw
 from .harness import FleetHarness, FleetRecord, FleetReport
 from .outbox import FleetOutbox
@@ -42,6 +42,7 @@ __all__ = [
     "FleetReport",
     "InstanceResult",
     "InstanceSpec",
+    "SeenSet",
     "TransportFaults",
     "backoff_delays",
     "batch_frame",

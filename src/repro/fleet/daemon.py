@@ -46,7 +46,7 @@ from ..persist.profiledb import empty_entry, merge_entries
 from ..persist.snapshot import SnapshotStore
 from .wire import decode_frame
 
-__all__ = ["FLEET_JOURNAL", "FleetDaemon"]
+__all__ = ["FLEET_JOURNAL", "FleetDaemon", "SeenSet"]
 
 #: Journal file name inside the daemon's disk namespace (kept distinct
 #: from the per-run checkpoint journal so one disk can host both).
@@ -54,6 +54,69 @@ FLEET_JOURNAL = "fleet.wal"
 
 _ENTRY_COUNTS = ("runs", "cpi_count", "flips")
 _DECISION_FIELDS = ("proven", "rolled_back", "back_branch", "hotness")
+
+
+class SeenSet:
+    """Per-instance dedup set, compacted to a contiguous prefix.
+
+    Accepted sequence numbers are dense per instance in the normal case
+    (the outbox numbers frames 0..N, where seq 0 is the hello — which
+    is stateless and never enters the dedup set), so a plain set of
+    every integer ever accepted grows without bound for the life of the
+    daemon.  This keeps the same membership semantics in
+    O(out-of-order residue) space: ``watermark`` asserts every seq in
+    ``[1, watermark)`` was seen, and ``residue`` holds the sparse
+    out-of-order arrivals at or above it.  Adding the watermark itself
+    drains any now-contiguous residue, so an instance whose frames all
+    eventually arrive compacts to an empty residue regardless of
+    delivery order.
+
+    The (watermark, residue) pair is a canonical function of the seen
+    *set* — independent of arrival order — which keeps snapshot bytes
+    and :meth:`FleetDaemon.canonical_state` convergent.
+    """
+
+    __slots__ = ("watermark", "residue")
+
+    def __init__(self, watermark: int = 1, residue=()) -> None:
+        self.watermark = watermark
+        self.residue: set[int] = set(residue)
+
+    def __contains__(self, seq: int) -> bool:
+        return 1 <= seq < self.watermark or seq in self.residue
+
+    def __len__(self) -> int:
+        return (self.watermark - 1) + len(self.residue)
+
+    def add(self, seq: int) -> None:
+        if seq in self:
+            return
+        if seq == self.watermark:
+            self.watermark += 1
+            while self.watermark in self.residue:
+                self.residue.discard(self.watermark)
+                self.watermark += 1
+        else:
+            self.residue.add(seq)
+
+    def to_payload(self) -> dict:
+        return {"w": self.watermark, "r": sorted(self.residue)}
+
+    @classmethod
+    def from_payload(cls, payload) -> "SeenSet":
+        """Restore from a snapshot payload.
+
+        Accepts the compact ``{"w": ..., "r": [...]}`` form and, for
+        snapshots written before compaction existed, a plain list of
+        sequence numbers (replayed through :meth:`add` so the restored
+        set is identically compacted).
+        """
+        if isinstance(payload, dict):
+            return cls(payload.get("w", 1), payload.get("r", ()))
+        seen = cls()
+        for seq in sorted(payload):
+            seen.add(seq)
+        return seen
 
 
 class FleetDaemon:
@@ -65,6 +128,7 @@ class FleetDaemon:
         quorum: int = 1,
         snapshot_interval: int = 8,
         snapshots_kept: int = 3,
+        window_budget: int | None = None,
     ) -> None:
         if quorum < 1:
             raise ValueError(f"quorum must be >= 1, got {quorum}")
@@ -72,14 +136,21 @@ class FleetDaemon:
             raise ValueError(
                 f"snapshot_interval must be >= 1, got {snapshot_interval}"
             )
+        if window_budget is not None and window_budget < 1:
+            raise ValueError(f"window_budget must be >= 1, got {window_budget}")
         self.disk = disk if disk is not None else MemoryDisk()
         self.quorum = quorum
         self.snapshot_interval = snapshot_interval
         self.snapshots_kept = snapshots_kept
+        #: per-instance cap on retained window batches; the oldest
+        #: ordinals are shed after each accept (top-K of a set is
+        #: canonical, so bounded daemons stay convergent)
+        self.window_budget = window_budget
         #: registered instances (hello received)
         self.instances: set[str] = set()
-        #: per-instance accepted frame sequence numbers (the dedup set)
-        self.seen: dict[str, set[int]] = {}
+        #: per-instance accepted frame sequence numbers (the dedup set,
+        #: compacted to watermark + out-of-order residue)
+        self.seen: dict[str, SeenSet] = {}
         #: per-instance accepted window batches: ordinal -> content tuple
         self.windows: dict[str, dict[int, tuple]] = {}
         #: per-key, per-instance image digests (consensus input)
@@ -174,7 +245,8 @@ class FleetDaemon:
             if ordinal > batch.window and other[0] < batch.retired:
                 return self._quarantine(instance, "time-travel")
         accepted[batch.window] = content
-        self.seen.setdefault(instance, set()).add(seq)
+        self._shed_windows(accepted)
+        self.seen.setdefault(instance, SeenSet()).add(seq)
         self.journal.append(
             "fleet-batch",
             {"i": instance, "n": seq, "key": key, "window": batch.to_payload()},
@@ -198,7 +270,7 @@ class FleetDaemon:
         slot = self.store.setdefault(key, {})
         existing = slot.get(instance)
         slot[instance] = entry if existing is None else merge_entries(existing, entry)
-        self.seen.setdefault(instance, set()).add(seq)
+        self.seen.setdefault(instance, SeenSet()).add(seq)
         self.journal.append(
             "fleet-profile",
             {"i": instance, "n": seq, "key": key, "digest": digest, "entry": entry},
@@ -207,6 +279,19 @@ class FleetDaemon:
         return {"k": "ack", "status": "ok"}
 
     # -- defensive admission helpers ---------------------------------------
+
+    def _shed_windows(self, accepted: dict[int, tuple]) -> None:
+        """Enforce ``window_budget`` by dropping the oldest ordinals.
+
+        Shedding after every accept keeps the retained dict equal to the
+        top-K ordinals of everything accepted so far, whatever order the
+        frames arrived in — dedup still holds because the *sequence*
+        numbers stay in the seen-set even after their windows are shed.
+        """
+        if self.window_budget is None or len(accepted) <= self.window_budget:
+            return
+        for ordinal in sorted(accepted)[: len(accepted) - self.window_budget]:
+            del accepted[ordinal]
 
     def _quarantine(self, instance: str, reason: str) -> dict:
         if instance not in self.quarantined:
@@ -341,7 +426,9 @@ class FleetDaemon:
             "format": 1,
             "quorum": self.quorum,
             "instances": sorted(self.instances),
-            "seen": {inst: sorted(s) for inst, s in sorted(self.seen.items())},
+            "seen": {
+                inst: s.to_payload() for inst, s in sorted(self.seen.items())
+            },
             "windows": {
                 inst: {str(w): list(c) for w, c in sorted(ws.items())}
                 for inst, ws in sorted(self.windows.items())
@@ -373,7 +460,8 @@ class FleetDaemon:
     def _restore(self, payload: dict) -> None:
         self.instances = set(payload.get("instances", []))
         self.seen = {
-            inst: set(seqs) for inst, seqs in payload.get("seen", {}).items()
+            inst: SeenSet.from_payload(seqs)
+            for inst, seqs in payload.get("seen", {}).items()
         }
         self.windows = {
             inst: {int(w): tuple(c) for w, c in ws.items()}
@@ -400,13 +488,15 @@ class FleetDaemon:
             from ..hpm.batch import WindowBatch
 
             batch = WindowBatch.from_payload(record["window"])
-            self.windows.setdefault(record["i"], {})[batch.window] = (
+            accepted = self.windows.setdefault(record["i"], {})
+            accepted[batch.window] = (
                 batch.retired,
                 batch.samples,
                 batch.quarantined,
                 batch.cpi,
             )
-            self.seen.setdefault(record["i"], set()).add(record["n"])
+            self._shed_windows(accepted)
+            self.seen.setdefault(record["i"], SeenSet()).add(record["n"])
             self.batches_accepted += 1
         elif kind == "fleet-profile":
             slot = self.store.setdefault(record["key"], {})
@@ -419,7 +509,7 @@ class FleetDaemon:
             self.digests.setdefault(record["key"], {})[record["i"]] = record[
                 "digest"
             ]
-            self.seen.setdefault(record["i"], set()).add(record["n"])
+            self.seen.setdefault(record["i"], SeenSet()).add(record["n"])
             self.batches_accepted += 1
         elif kind == "fleet-quarantine":
             self.quarantined.setdefault(record["i"], record["reason"])
@@ -431,6 +521,7 @@ class FleetDaemon:
         quorum: int = 1,
         snapshot_interval: int = 8,
         snapshots_kept: int = 3,
+        window_budget: int | None = None,
     ) -> "FleetDaemon":
         """Rebuild a daemon from its journal + snapshot store.
 
@@ -445,6 +536,7 @@ class FleetDaemon:
             quorum=quorum,
             snapshot_interval=snapshot_interval,
             snapshots_kept=snapshots_kept,
+            window_budget=window_budget,
         )
         load = daemon._snapshots.load_newest()
         discarded = [f"corrupt snapshot {name}" for name in load.corrupt]

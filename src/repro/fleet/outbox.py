@@ -30,6 +30,11 @@ class FleetOutbox:
         self.flush_interval = flush_interval
         self.windows: list[WindowBatch] = []
         self._wakes = 0
+        # monotonic batch ordinal: equals len(windows) until the
+        # governor sheds oldest batches under an outbox bound, after
+        # which ordinals must keep advancing (the daemon quarantines
+        # window-ordinal conflicts; gaps are fine)
+        self._window_seq = 0
         self._last_samples = 0
         self._last_quarantined = 0
 
@@ -39,12 +44,13 @@ class FleetOutbox:
         if self._wakes % self.flush_interval:
             return
         batch = WindowBatch(
-            window=len(self.windows),
+            window=self._window_seq,
             retired=retired,
             samples=profiler.samples_seen - self._last_samples,
             quarantined=profiler.quarantined_total - self._last_quarantined,
             cpi=round(window_cpi, 6),
         )
+        self._window_seq += 1
         self._last_samples = profiler.samples_seen
         self._last_quarantined = profiler.quarantined_total
         self.windows.append(batch)

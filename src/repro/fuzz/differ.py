@@ -1,6 +1,6 @@
 """Differential execution of one scenario across all must-agree axes.
 
-Every generated scenario is executed across eleven must-agree axes,
+Every generated scenario is executed across twelve must-agree axes,
 each on a fresh machine with an identical program build:
 
 1. ``none``      — plain interpreter, no COBRA (ground truth);
@@ -27,7 +27,12 @@ each on a fresh machine with an identical program build:
 10. ``db-corrupt`` — adaptive against axis 9's database with one byte
    flipped; a damaged database must load as absent, so this again
    matches axis 2 *fully*;
-11. ``fleet-faulted`` — a fleet of two instances (one cold, one warm)
+11. ``overloaded`` — adaptive under the resource governor with a seeded
+   mixed overload schedule (budget shrinks, sample floods, slow disk,
+   ingest storms); degradation may only shed optimization work, so
+   outputs must match ground truth and the overload ledger must be
+   fully accounted;
+12. ``fleet-faulted`` — a fleet of two instances (one cold, one warm)
    against one optimization daemon over a seeded hostile transport
    (frame drop/dup/reorder/delay/corrupt/poison, partitions, one
    daemon crash); every per-instance output digest must match ground
@@ -45,7 +50,13 @@ import hashlib
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
-from ..config import FaultConfig, PersistConfig, ProfileDBConfig
+from ..config import (
+    FaultConfig,
+    GovernorConfig,
+    OverloadConfig,
+    PersistConfig,
+    ProfileDBConfig,
+)
 from ..cpu.scheduler import Scheduler
 from ..errors import SimulatedCrash
 from ..hpm.sample import Sample
@@ -105,6 +116,7 @@ def _run_axis(
     faults: FaultConfig | None = None,
     disk: MemoryDisk | None = None,
     profile_db: MemoryDisk | None = None,
+    governor: GovernorConfig | None = None,
 ) -> RunObservables:
     """One differential cell: fresh machine, fresh build, one execution."""
     # deferred: repro.core imports repro.validate at module scope
@@ -133,6 +145,8 @@ def _run_axis(
             config = replace(
                 config, profile_db=ProfileDBConfig(disk=profile_db)
             )
+        if governor is not None:
+            config = replace(config, governor=governor)
         engine = Cobra(machine, prog.image, "adaptive", config)
         for monitor in engine.monitors:
             monitor.drain = _TappedDrain(monitor.drain, captured)
@@ -346,6 +360,24 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
                 )
                 if want != got:
                     diverge("db-corrupt vs adaptive", observable, want, got)
+
+    overloaded = attempt(
+        "overloaded", cobra=True, jit=True,
+        governor=GovernorConfig(
+            sample_queue_depth=64, budget_floor=48,
+            overload=OverloadConfig(
+                seed=fault_seed,
+                shrink_rate=0.2, flood_rate=0.2,
+                disk_rate=0.1, storm_rate=0.1,
+                max_events=6,
+            ),
+        ),
+    )
+    if overloaded:
+        if none and overloaded.digest != none.digest:
+            diverge("overloaded vs clean", "digest", none.digest, overloaded.digest)
+        if overloaded.ledger_accounted is False:
+            diverge("overloaded vs clean", "ledger", "accounted", "unaccounted")
 
     if none:
         try:

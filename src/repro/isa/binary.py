@@ -110,6 +110,27 @@ class BinaryImage:
             self.version += 1
         return removed
 
+    def free(self, addr: int, n_bundles: int) -> int:
+        """Discard ``n_bundles`` bundles starting at ``addr``; return the count.
+
+        Supports governor eviction of cold resident trace versions: the
+        hole is never reused (the append cursor does not move back), so
+        no later append can alias an address a stale redirect might
+        still name — the caller guarantees nothing references the freed
+        range (only *inactive* versions are ever evicted).
+        """
+        if addr % BUNDLE_BYTES:
+            raise BinaryError(f"free address {addr:#x} not bundle-aligned")
+        removed = 0
+        for address in range(addr, addr + n_bundles * BUNDLE_BYTES, BUNDLE_BYTES):
+            if self.bundles.pop(address, None) is not None:
+                removed += 1
+        if removed:
+            # structural change (not a journaled patch): decode caches
+            # see a version bump without a journal entry and rebuild
+            self.version += 1
+        return removed
+
     def mark(self, name: str, addr: int | None = None) -> int:
         """Define label ``name`` at ``addr`` (default: the next address)."""
         if addr is None:

@@ -305,6 +305,24 @@ class ProfileDB:
         )
         self.stats.runs_recorded += 1
 
+    def compact(self, max_entries: int) -> int:
+        """Drop the coldest entries until at most ``max_entries`` remain.
+
+        Coldness is accumulated run count (``runs``), tie-broken by key
+        — a pure function of store content, so any two replicas compact
+        to the same surviving set.  Returns the number dropped.
+        """
+        if len(self.entries) <= max_entries:
+            return 0
+        order = sorted(
+            self.entries, key=lambda k: (self.entries[k].get("runs", 0), k)
+        )
+        victims = order[: len(self.entries) - max_entries]
+        for key in victims:
+            del self.entries[key]
+        self.stats.entries = len(self.entries)
+        return len(victims)
+
     def save(self) -> None:
         """Write the store atomically (temp + rename via the disk)."""
         payload = {"format": PROFILEDB_FORMAT, "entries": self.entries}

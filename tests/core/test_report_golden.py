@@ -199,6 +199,37 @@ class TestSummaryGolden:
             "  fleet[i00]: transport faults: corrupt_frame=1, drop_frame=2"
         )
 
+    def test_governor_line(self):
+        gov = {"rung": "monitor-only", "trace_budget": 96,
+               "deploys_refused": 2, "evictions": 3, "evicted_bundles": 9,
+               "shed_samples": 40, "shed_batches": 0, "db_compacted": 0,
+               "wakes": 12, "last_pressure_wake": 9, "injected": 5,
+               "transitions": [
+                   {"wake": 4, "from": "full", "to": "no-new-compiles",
+                    "pressure": 1.0, "streak": 0},
+                   {"wake": 7, "from": "no-new-compiles", "to": "monitor-only",
+                    "pressure": 0.9, "streak": 0},
+               ]}
+        report = CobraReport(strategy="adaptive", samples=15, deployments=[],
+                             events=[], governor=gov)
+        assert report.summary() == (
+            "COBRA strategy=adaptive: 15 samples, 0 active deployment(s)\n"
+            "  governor[monitor-only]: 2 deploy(s) refused, 3 eviction(s), "
+            "40 shed sample(s), 2 transition(s)"
+        )
+
+    def test_governor_line_quiet_run(self):
+        gov = {"rung": "full", "trace_budget": 512, "deploys_refused": 0,
+               "evictions": 0, "evicted_bundles": 0, "shed_samples": 0,
+               "shed_batches": 0, "db_compacted": 0, "wakes": 3,
+               "last_pressure_wake": -1, "injected": 0, "transitions": []}
+        report = CobraReport(strategy="adaptive", samples=15, deployments=[],
+                             events=[], governor=gov)
+        assert report.summary().splitlines()[1] == (
+            "  governor[full]: 0 deploy(s) refused, 0 eviction(s), "
+            "0 shed sample(s), 0 transition(s)"
+        )
+
     def test_everything_at_once_orders_lines(self):
         stats = PersistStats(records_written=2, records_replayed=3,
                              records_discarded=0, snapshots_written=1,
@@ -208,11 +239,19 @@ class TestSummaryGolden:
                  "published": 1, "seeded": 1, "batches": 2,
                  "quarantined": 0, "degraded": False,
                  "faults": {"dup_frame": 1}}
+        gov = {"rung": "no-new-compiles", "trace_budget": 128,
+               "deploys_refused": 1, "evictions": 1, "evicted_bundles": 4,
+               "shed_samples": 8, "shed_batches": 1, "db_compacted": 0,
+               "wakes": 9, "last_pressure_wake": 8, "injected": 2,
+               "transitions": [
+                   {"wake": 8, "from": "full", "to": "no-new-compiles",
+                    "pressure": 1.0, "streak": 0},
+               ]}
         report = CobraReport(
             strategy="adaptive", samples=50, deployments=[], events=[],
             mode="monitor-only", quarantined={"time-travel": 1},
             recovery_log=["x"], reclaimed_bundles=2, persist=stats,
-            resumed=True, faults=_ledger(), fleet=fleet,
+            resumed=True, faults=_ledger(), fleet=fleet, governor=gov,
         )
         assert report.summary().splitlines() == [
             "COBRA strategy=adaptive: 50 samples, 0 active deployment(s)",
@@ -227,6 +266,8 @@ class TestSummaryGolden:
             "seeded 1 decision(s), 2 batch(es) queued, "
             "0 quarantined stream(s)",
             "  fleet[i01]: transport faults: dup_frame=1",
+            "  governor[no-new-compiles]: 1 deploy(s) refused, "
+            "1 eviction(s), 8 shed sample(s), 1 transition(s)",
             "  faults[seed=7]: 3 injected = 2 detected + 1 tolerated "
             "(drop_sample=1, torn_patch=2)",
         ]

@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.fleet.daemon import FLEET_JOURNAL, FleetDaemon
+from repro.fleet.daemon import FLEET_JOURNAL, FleetDaemon, SeenSet
 from repro.fleet.wire import batch_frame, encode_frame, hello_frame, profile_frame
 from repro.persist.journal import MemoryDisk
 from repro.persist.profiledb import empty_entry
@@ -359,3 +359,126 @@ class TestValidation:
     def test_bad_snapshot_interval(self):
         with pytest.raises(ValueError, match="snapshot_interval"):
             FleetDaemon(snapshot_interval=0)
+
+    def test_bad_window_budget(self):
+        with pytest.raises(ValueError, match="window_budget"):
+            FleetDaemon(window_budget=0)
+
+
+class TestSeenSet:
+    def test_in_order_stream_compacts_to_the_watermark(self):
+        # real traffic: hello owns seq 0 (stateless), batches start at 1
+        seen = SeenSet()
+        for seq in range(1, 1001):
+            seen.add(seq)
+        assert seen.watermark == 1001
+        assert seen.residue == set()
+        assert 1000 in seen and 1001 not in seen
+
+    def test_out_of_order_residue_drains_when_the_gap_fills(self):
+        seen = SeenSet()
+        for seq in (1, 3, 4, 6):
+            seen.add(seq)
+        assert seen.watermark == 2 and seen.residue == {3, 4, 6}
+        seen.add(2)
+        assert seen.watermark == 5 and seen.residue == {6}
+        seen.add(5)
+        assert seen.watermark == 7 and seen.residue == set()
+
+    @given(
+        seqs=st.lists(st.integers(min_value=1, max_value=200), max_size=120)
+    )
+    @settings(**COMMON)
+    def test_membership_matches_a_plain_set_and_payload_is_canonical(
+        self, seqs
+    ):
+        seen = SeenSet()
+        reference: set[int] = set()
+        for seq in seqs:
+            seen.add(seq)
+            reference.add(seq)
+        assert {s for s in range(210) if s in seen} == reference
+        assert len(seen) == len(reference)
+        # the payload is a canonical function of the *set*: reordering
+        # arrival must not change the bytes
+        shuffled = SeenSet()
+        for seq in sorted(seqs, reverse=True):
+            shuffled.add(seq)
+        assert shuffled.to_payload() == seen.to_payload()
+
+    def test_legacy_list_payload_restores_identically(self):
+        seen = SeenSet()
+        for seq in (1, 2, 3, 7, 9):
+            seen.add(seq)
+        legacy = SeenSet.from_payload([1, 2, 3, 7, 9])
+        assert legacy.to_payload() == seen.to_payload() == {"w": 4, "r": [7, 9]}
+
+    def test_daemon_dedup_state_stays_bounded_over_a_long_run(self):
+        daemon = FleetDaemon()
+        daemon.handle(_stream("i0")[0])   # hello
+        for i in range(500):
+            daemon.handle(
+                encode_frame(batch_frame("i0", i + 1, KEY, _window(i)))
+            )
+        seen = daemon.seen["i0"]
+        # in-order traffic compacts to a pure watermark: O(1) dedup
+        # state where the old plain set held one int per frame forever
+        assert seen.watermark == 501
+        assert seen.residue == set()
+        payload = daemon._state_payload()["seen"]["i0"]
+        assert payload == {"w": 501, "r": []}
+
+    def test_compacted_seen_survives_recovery(self):
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, snapshot_interval=3)
+        for data in _stream("i0", n_batches=6):
+            daemon.handle(data)
+        recovered = FleetDaemon.recover(disk, snapshot_interval=3)
+        assert recovered.canonical_state() == daemon.canonical_state()
+        assert recovered.seen["i0"].to_payload() == (
+            daemon.seen["i0"].to_payload()
+        )
+
+
+class TestWindowBudget:
+    def test_oldest_windows_shed_at_the_budget(self):
+        daemon = FleetDaemon(window_budget=3)
+        daemon.handle(_stream("i0")[0])
+        for i in range(8):
+            daemon.handle(
+                encode_frame(batch_frame("i0", i + 1, KEY, _window(i)))
+            )
+        assert sorted(daemon.windows["i0"]) == [5, 6, 7]
+        # shed windows stay deduped: their sequence numbers were kept
+        assert daemon.batches_accepted == 8
+        reply = daemon.handle(
+            encode_frame(batch_frame("i0", 1, KEY, _window(0)))
+        )
+        assert reply["status"] == "dup"
+
+    def test_bounded_daemons_converge_regardless_of_arrival_order(self):
+        ordinals = [0, 5, 2, 7, 1, 6, 3, 4]
+        daemons = []
+        for order in (ordinals, sorted(ordinals), sorted(ordinals, reverse=True)):
+            daemon = FleetDaemon(window_budget=3)
+            daemon.handle(_stream("i0")[0])
+            for i in order:
+                daemon.handle(
+                    encode_frame(batch_frame("i0", i + 1, KEY, _window(i)))
+                )
+            daemons.append(daemon)
+        states = {d.canonical_state() for d in daemons}
+        assert len(states) == 1
+        assert sorted(daemons[0].windows["i0"]) == [5, 6, 7]
+
+    def test_budget_threads_through_recovery(self):
+        disk = MemoryDisk()
+        daemon = FleetDaemon(disk, window_budget=2, snapshot_interval=100)
+        daemon.handle(_stream("i0")[0])
+        for i in range(5):
+            daemon.handle(
+                encode_frame(batch_frame("i0", i + 1, KEY, _window(i)))
+            )
+        recovered = FleetDaemon.recover(disk, window_budget=2)
+        assert recovered.canonical_state() == daemon.canonical_state()
+        assert sorted(recovered.windows["i0"]) == [3, 4]

@@ -50,9 +50,9 @@ class TestCorpusReplay:
         pairs = [(e["seed"], e["fault_seed"]) for e in corpus["entries"]]
         report = DifferentialFuzzer(pairs=pairs).run(jobs=2)
         assert report.ok, report.summary(verbose=False)
-        # all ten digest axes executed for every entry (the crash run
+        # all eleven digest axes executed for every entry (the crash run
         # records no digest): compile + run succeeded everywhere
-        assert all(len(r.digests) == 10 for r in report.results)
+        assert all(len(r.digests) == 11 for r in report.results)
         # and the recorded JIT-eligibility still holds
         by_seed = {r.params.seed: r for r in report.results}
         for e in corpus["entries"]:

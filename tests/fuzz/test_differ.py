@@ -10,7 +10,7 @@ from repro.isa.instructions import Instruction, Op
 
 AXES = (
     "none", "adaptive", "jit-off", "faulted", "ckpt", "resume",
-    "db-cold", "db-warm", "db-corrupt", "fleet-faulted",
+    "db-cold", "db-warm", "db-corrupt", "overloaded", "fleet-faulted",
 )
 
 

@@ -1,0 +1,140 @@
+"""The degradation ladder: one rung at a time, with hysteresis.
+
+The ladder is a pure function of its pressure observations, so
+Hypothesis can drive arbitrary schedules and check the walk invariants
+directly: adjacency, threshold gating, streak-earned recoveries, and —
+the headline property — no oscillation under pressure held at a rung
+boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.governor import RUNGS, DegradationLadder
+
+
+def _ladder() -> DegradationLadder:
+    return DegradationLadder(escalate=0.85, recover=0.60, recovery_windows=3)
+
+
+class TestLadderUnit:
+    def test_starts_full(self):
+        assert _ladder().rung == "full"
+
+    def test_escalates_one_rung_per_hot_observation(self):
+        ladder = _ladder()
+        walked = []
+        for _ in range(len(RUNGS) + 2):   # two extra: bounded at "off"
+            transition = ladder.observe(1.0)
+            if transition is not None:
+                walked.append(transition)
+        assert [t[1] for t in walked] == list(RUNGS[1:])
+        assert ladder.rung == "off"
+        assert ladder.observe(1.0) is None   # stays at the bottom
+
+    def test_recovery_needs_full_calm_streak(self):
+        ladder = _ladder()
+        ladder.observe(0.9)
+        assert ladder.rung == "no-new-compiles"
+        assert ladder.observe(0.0) is None
+        assert ladder.observe(0.0) is None
+        assert ladder.observe(0.0) == ("no-new-compiles", "full", 3)
+        assert ladder.rung == "full"
+
+    def test_band_observation_resets_the_streak(self):
+        ladder = _ladder()
+        ladder.observe(0.9)
+        ladder.observe(0.0)
+        ladder.observe(0.0)
+        ladder.observe(0.7)          # in the band: hold + restart clock
+        assert ladder.observe(0.0) is None
+        assert ladder.observe(0.0) is None
+        assert ladder.observe(0.0) is not None
+
+    def test_full_never_recovers_past_itself(self):
+        ladder = _ladder()
+        for _ in range(10):
+            assert ladder.observe(0.0) is None
+        assert ladder.rung == "full"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(escalate=0.5, recover=0.5),      # empty band
+            dict(escalate=0.4, recover=0.6),      # inverted
+            dict(escalate=1.2, recover=0.6),      # escalate > 1
+            dict(escalate=0.8, recover=0.0),      # recover <= 0
+            dict(recovery_windows=0),
+        ],
+    )
+    def test_constructor_rejects_degenerate_thresholds(self, kwargs):
+        with pytest.raises(ValueError):
+            DegradationLadder(**kwargs)
+
+
+PRESSURES = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    max_size=60,
+)
+
+
+class TestLadderProperties:
+    @given(pressures=PRESSURES)
+    def test_walk_invariants(self, pressures):
+        ladder = _ladder()
+        rung = "full"
+        for pressure in pressures:
+            transition = ladder.observe(pressure)
+            if transition is None:
+                continue
+            frm, to, streak = transition
+            assert frm == rung
+            assert abs(RUNGS.index(to) - RUNGS.index(frm)) == 1
+            if RUNGS.index(to) > RUNGS.index(frm):
+                assert pressure >= ladder.escalate
+                assert streak == 0
+            else:
+                assert pressure <= ladder.recover
+                assert streak >= ladder.recovery_windows
+            rung = to
+        assert ladder.rung == rung
+
+    @given(
+        prefix=PRESSURES,
+        band=st.lists(
+            # strictly inside the (recover, escalate) hysteresis band
+            st.floats(min_value=0.601, max_value=0.849, allow_nan=False),
+            max_size=40,
+        ),
+    )
+    def test_pressure_held_in_the_band_never_moves_the_rung(self, prefix, band):
+        ladder = _ladder()
+        for pressure in prefix:
+            ladder.observe(pressure)
+        rung = ladder.rung
+        for pressure in band:
+            assert ladder.observe(pressure) is None
+            assert ladder.rung == rung
+
+    @given(prefix=PRESSURES)
+    def test_sustained_calm_always_converges_to_full(self, prefix):
+        ladder = _ladder()
+        for pressure in prefix:
+            ladder.observe(pressure)
+        for _ in range((len(RUNGS) - 1) * ladder.recovery_windows):
+            ladder.observe(0.0)
+        assert ladder.rung == "full"
+
+    @given(prefix=PRESSURES)
+    def test_sustained_pressure_descends_monotonically_to_off(self, prefix):
+        ladder = _ladder()
+        for pressure in prefix:
+            ladder.observe(pressure)
+        index = ladder.rung_index
+        for _ in range(len(RUNGS)):
+            ladder.observe(1.0)
+            assert ladder.rung_index >= index
+            index = ladder.rung_index
+        assert ladder.rung == "off"

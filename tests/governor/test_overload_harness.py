@@ -1,0 +1,52 @@
+"""OverloadHarness integration: schedules inject, invariants hold, and
+the report is byte-identical at any worker count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.governor import OVERLOAD_SCHEDULES, OverloadHarness
+from repro.validate.differential import daxpy_spec, default_machines
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    machines = {
+        name: factory
+        for name, factory in default_machines(2).items()
+        if name.startswith("smp")
+    }
+    harness = OverloadHarness(
+        daxpy_spec(n_threads=2, reps=6),
+        machines=machines,
+        schedules={
+            "shrink": OVERLOAD_SCHEDULES["shrink"],
+            "everything": OVERLOAD_SCHEDULES["everything"],
+        },
+        seeds=(0, 1),
+    )
+    return harness, harness.run(jobs=1)
+
+
+class TestOverloadSweep:
+    def test_sweep_passes_and_actually_injects(self, sweep):
+        _harness, report = sweep
+        assert report.ok, report.summary()
+        assert report.total_injected() > 0
+        assert len(report.records) == 4   # 1 machine x 2 schedules x 2 seeds
+
+    def test_digests_bit_identical_to_clean_run(self, sweep):
+        _harness, report = sweep
+        for record in report.records:
+            assert record.digest == report.baseline_digests[record.machine]
+
+    def test_every_record_carries_an_accounted_ledger(self, sweep):
+        _harness, report = sweep
+        for record in report.records:
+            if record.governor.get("injected", 0):
+                assert record.ledger is not None
+                assert record.ledger.accounted
+
+    def test_report_byte_identical_at_any_jobs(self, sweep):
+        harness, report = sweep
+        assert harness.run(jobs=2).summary() == report.summary()

@@ -335,7 +335,7 @@ class TestFuzzCli:
         data = json.loads(out_path.read_text())
         assert data["ok"] is True
         assert data["scenarios"][0]["seed"] == 3
-        assert len(data["scenarios"][0]["digests"]) == 10
+        assert len(data["scenarios"][0]["digests"]) == 11
 
 
 class TestRecoveryCli:
@@ -430,3 +430,89 @@ class TestFleetCli:
         rc = main(["fleet", "--instances", "2"])
         captured = capsys.readouterr().out
         assert rc == 0 and "quorum=1" in captured
+
+
+class TestGovernorCli:
+    """Governor knobs: one-line exit-2 boundary errors, and the armed
+    runs stay verified with a governor line in the summary."""
+
+    def test_budget_arms_the_governor(self, capsys):
+        rc = main(["--scale", "4", "daxpy", "--reps", "10",
+                   "--trace-cache-budget", "96"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified:        True" in out
+        assert "governor[" in out
+
+    def test_overload_seed_stays_verified(self, capsys):
+        rc = main(["--scale", "4", "daxpy", "--reps", "10",
+                   "--overload-seed", "7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified:        True" in out
+        assert "governor[" in out
+
+    def test_governor_requires_cobra_strategy(self, capsys):
+        rc = main(["daxpy", "--strategy", "baseline",
+                   "--trace-cache-budget", "96"])
+        err = capsys.readouterr().err
+        assert rc == 2 and err.count("\n") == 1
+        assert "require a COBRA strategy" in err
+
+    def test_bad_budget(self, capsys):
+        rc = main(["daxpy", "--trace-cache-budget", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--trace-cache-budget must be >= 1" in err
+
+    def test_bad_overload_seed(self, capsys):
+        rc = main(["daxpy", "--overload-seed", "-1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--overload-seed must be >= 0" in err
+
+    def test_malformed_env_governor(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_GOVERNOR", "on")
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and err.count("\n") == 1
+        assert "REPRO_GOVERNOR must be '0' or '1', got 'on'" in err
+
+    def test_env_governor_arms_defaults(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_GOVERNOR", "1")
+        rc = main(["--scale", "4", "daxpy", "--reps", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "governor[" in out
+
+
+class TestOverloadCli:
+    """`repro overload`: argument validation and a one-cell smoke run."""
+
+    def test_bad_jobs(self, capsys):
+        rc = main(["overload", "--jobs", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--jobs must be >= 1" in err
+
+    def test_bad_seed(self, capsys):
+        rc = main(["overload", "--seed", "-1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--seed must be >= 0" in err
+
+    def test_bad_runs(self, capsys):
+        rc = main(["overload", "--runs", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "--runs must be >= 1" in err
+
+    def test_unknown_schedule(self, capsys):
+        rc = main(["overload", "--schedules", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown schedule 'nope'" in err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["overload", "--workloads", "nope"]) == 2
+
+    def test_smoke_sweep(self, capsys):
+        rc = main(["overload", "--workloads", "daxpy", "--seed", "0",
+                   "--runs", "1", "--threads", "2", "--reps", "6",
+                   "--schedules", "shrink"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "overload: OK" in out

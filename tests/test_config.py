@@ -140,3 +140,61 @@ class TestFleetConfigs:
         cobra = CobraConfig(fleet=FleetAgentConfig(instance="i0"))
         assert cobra.fleet.instance == "i0"
         assert CobraConfig().fleet is None
+
+
+class TestGovernorConfigs:
+    def test_overload_rates_validated(self):
+        from repro.config import OverloadConfig
+
+        with pytest.raises(ValueError, match="shrink_rate"):
+            OverloadConfig(shrink_rate=1.5)
+        with pytest.raises(ValueError, match="storm_rate"):
+            OverloadConfig(storm_rate=-0.1)
+        with pytest.raises(ValueError, match="seed"):
+            OverloadConfig(seed=-1)
+        with pytest.raises(ValueError, match="shrink_factor"):
+            OverloadConfig(shrink_factor=1.0)
+        with pytest.raises(ValueError, match="flood_factor"):
+            OverloadConfig(flood_factor=1)
+        with pytest.raises(ValueError, match="flood_windows"):
+            OverloadConfig(flood_windows=0)
+        with pytest.raises(ValueError, match="max_events"):
+            OverloadConfig(max_events=-1)
+
+    def test_governor_budgets_validated(self):
+        from repro.config import GovernorConfig
+
+        with pytest.raises(ValueError, match="trace_cache_budget"):
+            GovernorConfig(trace_cache_budget=0)
+        with pytest.raises(ValueError, match="sample_queue_depth"):
+            GovernorConfig(sample_queue_depth=0)
+        with pytest.raises(ValueError, match="profile_db_entries"):
+            GovernorConfig(profile_db_entries=0)
+        with pytest.raises(ValueError, match="outbox_batches"):
+            GovernorConfig(outbox_batches=0)
+        with pytest.raises(ValueError, match="budget_floor"):
+            GovernorConfig(budget_floor=0)
+        with pytest.raises(ValueError, match="recovery_windows"):
+            GovernorConfig(recovery_windows=0)
+
+    def test_hysteresis_band_must_be_non_empty(self):
+        from repro.config import GovernorConfig
+
+        with pytest.raises(ValueError, match="escalate_pressure"):
+            GovernorConfig(escalate_pressure=1.2)
+        with pytest.raises(ValueError, match="recover_pressure"):
+            GovernorConfig(recover_pressure=0.0)
+        with pytest.raises(ValueError, match="must be below"):
+            GovernorConfig(escalate_pressure=0.5, recover_pressure=0.5)
+
+    def test_cobra_config_carries_governor(self):
+        from repro.config import GovernorConfig, OverloadConfig
+
+        cobra = CobraConfig(
+            governor=GovernorConfig(
+                trace_cache_budget=96, overload=OverloadConfig(seed=3)
+            )
+        )
+        assert cobra.governor.trace_cache_budget == 96
+        assert cobra.governor.overload.seed == 3
+        assert CobraConfig().governor is None
