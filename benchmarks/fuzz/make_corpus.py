@@ -1,11 +1,18 @@
 """Regenerate ``benchmarks/fuzz/corpus.json``.
 
 Scans generator seeds in order and keeps the first 50 whose scenarios
-jointly cover every loop class in both JIT regimes — "JIT-eligible"
-meaning the adaptive axis actually compiled at least one trace (the
-scenario's per-phase trip counts crossed the 16 back-edge hot-loop
-threshold), "JIT-ineligible" meaning it never did.  Every kept entry
-must already be divergence-free; the committed corpus is the frozen
+jointly cover every loop class in both *trace-tree* regimes the runtime
+has — "tree-linked" meaning the adaptive axis chained at least one
+compiled trace exit into another compiled trace (nested loops, epilogue
+drains, early-exit tails promoted into the tree), "tree-free" meaning
+every compiled trace always fell back to the interpreter at its exits.
+``gather`` and ``histogram`` are exempt from the tree-free cell: their
+shapes (CSR inner nests, bin-update early exits) are exactly the
+tree-eligible ones and always chain, so that regime does not exist for
+them.  With OSR entry the 3-back-edge hot threshold makes every
+generated scenario JIT-eligible, so ``jit_eligible`` is recorded per
+entry but no longer a coverage dimension.  Every kept entry must
+already be divergence-free; the committed corpus is the frozen
 regression baseline that tests/fuzz/test_corpus.py replays.
 
 Usage::
@@ -24,11 +31,16 @@ from repro.fuzz.generator import LOOP_CLASSES, generate_params
 TARGET = 50
 OUT = os.path.join(os.path.dirname(__file__), "corpus.json")
 
+#: loop classes whose generated shapes always chain compiled exits
+ALWAYS_LINKED = ("gather", "histogram")
+
 
 def main() -> None:
     entries = []
     covered: set[tuple[str, bool]] = set()
-    wanted = {(cls, jit) for cls in LOOP_CLASSES for jit in (True, False)}
+    wanted = {(cls, True) for cls in LOOP_CLASSES} | {
+        (cls, False) for cls in LOOP_CLASSES if cls not in ALWAYS_LINKED
+    }
     seed = 0
     while len(entries) < TARGET:
         params = generate_params(seed)
@@ -37,7 +49,7 @@ def main() -> None:
             raise SystemExit(
                 f"seed {seed} diverges; fix the framework before freezing a corpus"
             )
-        cell = (params.loop_class, result.compiles > 0)
+        cell = (params.loop_class, result.tree_links > 0)
         # prioritize unseen cells; afterwards take seeds in order
         if cell in wanted - covered or len(covered) == len(wanted):
             covered.add(cell)
@@ -47,6 +59,7 @@ def main() -> None:
                     "fault_seed": params.fault_seed,
                     "loop_class": params.loop_class,
                     "jit_eligible": result.compiles > 0,
+                    "tree_linked": result.tree_links > 0,
                 }
             )
         seed += 1

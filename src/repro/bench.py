@@ -50,8 +50,10 @@ __all__ = [
 ]
 
 #: Schema tag written into BENCH_perf.json (bump on layout changes).
-#: /2 added the per-case ``fastpath`` block (trace-compile counters).
-BENCH_SCHEMA = "repro-bench-perf/2"
+#: /2 added the per-case ``fastpath`` block (trace-compile counters);
+#: /3 added the OSR/trace-tree counters to it (osr_entries, tree_links,
+#: resume_hits, promotions, exit_sites).
+BENCH_SCHEMA = "repro-bench-perf/3"
 
 #: ``--compare`` fails on wall-clock regressions beyond this fraction.
 REGRESSION_THRESHOLD = 0.15
@@ -163,6 +165,12 @@ def fastpath_stats(machine: Machine) -> dict:
         "entries": 0,
         "iterations": 0,
         "compiled_bundles": 0,
+        "osr_entries": 0,
+        "tree_links": 0,
+        "resume_hits": 0,
+        "promotions": 0,
+        "evicted": 0,
+        "exit_sites": 0,
         "bundles": 0,
         "decodes": 0,
     }
@@ -176,13 +184,18 @@ def fastpath_stats(machine: Machine) -> dict:
                 "cpu": core.cpu_id,
                 "compiles": stats["compiles"],
                 "compiled_bundles": stats["compiled_bundles"],
+                "osr_entries": stats["osr_entries"],
+                "tree_links": stats["tree_links"],
+                "resume_hits": stats["resume_hits"],
                 "bundles": bundles,
                 "decodes": decodes,
             }
         )
         for key in ("compiles", "invalidations", "entries", "iterations",
-                    "compiled_bundles"):
+                    "compiled_bundles", "osr_entries", "tree_links",
+                    "resume_hits", "promotions", "evicted"):
             totals[key] += stats[key]
+        totals["exit_sites"] += len(stats["exit_sites"])
         totals["bundles"] += bundles
         totals["decodes"] += decodes
         for reason, count in stats["deopts"].items():

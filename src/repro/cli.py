@@ -1034,8 +1034,9 @@ def _parser() -> argparse.ArgumentParser:
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: run seeded generated kernels across "
-        "every must-agree axis (adaptive/none, JIT on/off, faulted/clean, "
-        "checkpoint-resume/straight) and report bit-equality divergences",
+        "every must-agree axis (adaptive/none, JIT on/off, OSR on/off, "
+        "faulted/clean, checkpoint-resume/straight) and report "
+        "bit-equality divergences",
     )
     fuzz.add_argument(
         "--seeds", type=int, default=25, metavar="N",
@@ -1222,8 +1223,10 @@ def _validate_env() -> str | None:
     if ckpt and os.path.exists(ckpt) and not os.path.isdir(ckpt):
         return f"REPRO_CHECKPOINT must name a checkpoint directory, got {ckpt!r}"
     jit = os.environ.get("REPRO_TRACE_JIT", "").strip()
-    if jit and jit not in ("0", "1"):
-        return f"REPRO_TRACE_JIT must be '0' or '1', got {jit!r}"
+    if jit and jit not in ("0", "1", "osr-off"):
+        return (
+            f"REPRO_TRACE_JIT must be '0', '1' or 'osr-off', got {jit!r}"
+        )
     gov = os.environ.get("REPRO_GOVERNOR", "").strip()
     if gov and gov not in ("0", "1"):
         return f"REPRO_GOVERNOR must be '0' or '1', got {gov!r}"

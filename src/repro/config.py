@@ -423,6 +423,9 @@ class GovernorConfig:
     outbox_batches: int = 1024
     #: overload shrink events never push the trace budget below this
     budget_floor: int = 64
+    #: per-core compiled-trace footprint (bundles) before the governor
+    #: evicts cold trace-tree nodes (``None`` = unbounded)
+    jit_node_budget: int | None = 512
     #: pressure at or above this escalates one rung per wake
     escalate_pressure: float = 0.85
     #: pressure at or below this counts toward recovery
@@ -436,6 +439,10 @@ class GovernorConfig:
         if self.trace_cache_budget is not None and self.trace_cache_budget < 1:
             raise ValueError(
                 f"trace_cache_budget must be >= 1, got {self.trace_cache_budget}"
+            )
+        if self.jit_node_budget is not None and self.jit_node_budget < 1:
+            raise ValueError(
+                f"jit_node_budget must be >= 1, got {self.jit_node_budget}"
             )
         for name in ("sample_queue_depth", "profile_db_entries",
                      "outbox_batches", "budget_floor", "recovery_windows"):

@@ -201,6 +201,16 @@ class CobraReport:
                 f"decode-cache {fp.get('decode_cache_hit_pct', 0.0)}% hit"
                 + (f", deopts: {deopts}" if deopts else "")
             )
+            osr_entries = fp.get("osr_entries", 0)
+            tree_links = fp.get("tree_links", 0)
+            resume_hits = fp.get("resume_hits", 0)
+            if osr_entries or tree_links or resume_hits:
+                lines.append(
+                    f"  osr: {osr_entries} mid-trace entr(y/ies), "
+                    f"{tree_links} tree link(s), "
+                    f"{fp.get('promotions', 0)} promotion(s), "
+                    f"{resume_hits} budget resume(s)"
+                )
         return "\n".join(lines)
 
 

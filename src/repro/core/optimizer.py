@@ -258,7 +258,10 @@ class OptimizationThread:
         """
         gov = self.governor
         before = gov.rung
-        rung = gov.on_wake(retired, self.trace_cache, self.outbox)
+        rung = gov.on_wake(
+            retired, self.trace_cache, self.outbox,
+            cores=self.machine.cores,
+        )
         if rung != before:
             from ..governor.ladder import RUNGS
 
@@ -661,6 +664,26 @@ class OptimizationThread:
                          f"{source}: re-deployed proven optimization")
             )
             deployed += 1
+        # warm-start the trace JIT too: recompile persisted tree shapes
+        # so compiled dispatch is live from retired 0 instead of after
+        # every head re-proves hot.  Best-effort and timing-neutral —
+        # a stale or torn shape is skipped, never wrong.
+        shapes = entry.get("jit_trees") or []
+        if shapes:
+            seeded = 0
+            for core in self.machine.cores:
+                if core.jit_enabled and core.osr_enabled:
+                    tjit = core.trace_jit
+                    tjit.osr = True
+                    seeded += tjit.warm_seed(
+                        shapes, core.decode_cache, core.bundles_per_cycle
+                    )
+            if seeded:
+                self._log(
+                    OptEvent(0, "deploy", None, None,
+                             f"{source}: {seeded} trace-tree node(s) "
+                             "recompiled for warm dispatch")
+                )
         return deployed
 
     def export_profile_entry(self) -> dict:
@@ -706,6 +729,16 @@ class OptimizationThread:
             "decisions": decisions,
             "flips": sum(
                 vs.flips for vs in self.trace_cache.version_sets.values()
+            ),
+            # resident trace-tree shapes, deduped across cores: a warm
+            # run recompiles these before the first instruction retires
+            "jit_trees": sorted(
+                [root, head, kind, sor]
+                for root, head, kind, sor in {
+                    (tr.root, tr.head, tr.kind, tr.sor)
+                    for core in self.machine.cores
+                    for tr in core.trace_jit.traces.values()
+                }
             ),
         }
 

@@ -64,14 +64,18 @@ from ..memory.hierarchy import (
     STORE,
     CpuCacheSystem,
 )
-from .tracejit import EXIT_SAMPLE, TraceJit
+from .tracejit import EXIT_BUDGET, EXIT_SAMPLE, TraceJit
 
 __all__ = ["Core"]
 
 #: Trace compilation on by default; ``REPRO_TRACE_JIT=0`` forces every
 #: bundle through the generic interpreter (the differential harness uses
-#: this to prove the two paths bit-identical).
-_JIT_DEFAULT = os.environ.get("REPRO_TRACE_JIT", "1") != "0"
+#: this to prove the two paths bit-identical), and
+#: ``REPRO_TRACE_JIT=osr-off`` keeps the JIT but pins loop-head-only
+#: dispatch — no OSR entries, no trace trees (CI regression bisection).
+_JIT_ENV = os.environ.get("REPRO_TRACE_JIT", "1")
+_JIT_DEFAULT = _JIT_ENV != "0"
+_OSR_DEFAULT = _JIT_DEFAULT and _JIT_ENV != "osr-off"
 
 # opcode constants hoisted for dispatch speed
 _NOP = int(Op.NOP)
@@ -160,6 +164,8 @@ class Core:
         "_dcache",
         "_tjit",
         "jit_enabled",
+        "osr_enabled",
+        "_resume",
     )
 
     def __init__(
@@ -194,6 +200,11 @@ class Core:
         self._issue_tick = 0
         self._tjit = TraceJit()
         self.jit_enabled = _JIT_DEFAULT
+        self.osr_enabled = _OSR_DEFAULT
+        # budget-exit resume hint: (tjit generation, pc, entry point);
+        # lets the next slice re-enter the interrupted trace without a
+        # dispatch re-probe (invalidation/eviction bumps the generation)
+        self._resume: tuple | None = None
 
     # -- program control -----------------------------------------------------
 
@@ -270,14 +281,30 @@ class Core:
         # scheduler slices; within a slice both views are equally live).
         tjit = self._tjit if self.jit_enabled else None
         if tjit is not None:
-            traces = tjit.sync(dcache)
-            trace_get = traces.get
+            osr_on = self.osr_enabled
+            if tjit.osr != osr_on:
+                # flag flipped since the last slice (differ axes, CI
+                # modes): republish entry points under the new policy
+                tjit.osr = osr_on
+                tjit._rebuild_dispatch()
+            dispatch = tjit.sync(dcache)
+            dispatch_get = dispatch.get
             hot = tjit.hot
             hot_get = hot.get
             jit_threshold = tjit.threshold
+            sites = tjit.sites
+            sites_get = sites.get
+            # read after sync(): invalidation may have bumped it
+            generation = tjit.generation
+            resume = self._resume
+            self._resume = None
+            if resume is not None and resume[0] != generation:
+                resume = None   # traces changed under the hint
         else:
-            trace_get = None
+            dispatch_get = None
             hot = None
+            osr_on = False
+            resume = None
         regs = self.regs
         grl = regs.gr
         frl = regs.fr
@@ -341,15 +368,31 @@ class Core:
 
         try:
             while executed < max_bundles and cycles <= cycle_limit:
-                if trace_get is not None and fast_mem:
-                    tr = trace_get(pc)
-                    if tr is not None and tr.sor == sor:
+                if dispatch_get is not None and fast_mem:
+                    if resume is not None:
+                        # budget exit from the previous slice: the hint
+                        # is single-use and pre-validated by generation
+                        if resume[1] == pc:
+                            ep = resume[2]
+                            tjit.resume_hits += 1
+                        else:
+                            ep = dispatch_get(pc)
+                        resume = None
+                    else:
+                        ep = dispatch_get(pc)
+                    if ep is not None and ep.trace.sor == sor:
+                        tr = ep.trace
+                        fn = ep.fn
+                        if fn is None:
+                            # first entry at this mid-trace index: build
+                            # the OSR suffix closure (cached thereafter)
+                            fn = tjit.materialize(ep)
                         before = bundles_executed
                         (
                             pc, lc, ec, rrb_gr, rrb_fr, rrb_pr, cycles,
                             retired, bundles_executed, taken_branches,
                             issue_tick, countdown, executed, t_iters, flag,
-                        ) = tr.fn(
+                        ) = fn(
                             self, cache, mem, grl, frl, prl, btb, lc, ec,
                             rrb_gr, rrb_fr, rrb_pr, cycles, retired,
                             bundles_executed, taken_branches, issue_tick,
@@ -357,6 +400,9 @@ class Core:
                             cycle_limit,
                         )
                         tjit.entries += 1
+                        tr.last_used = tjit.entries
+                        if ep.idx:
+                            tjit.osr_entries += 1
                         tjit.iters += t_iters
                         tjit.compiled_bundles += bundles_executed - before
                         tjit.deopts[flag] += 1
@@ -403,6 +449,26 @@ class Core:
                             rrb_gr = regs.rrb_gr
                             rrb_fr = regs.rrb_fr
                             rrb_pr = regs.rrb_pr
+                        elif flag == EXIT_BUDGET:
+                            # the slice ends here; remember the probe so
+                            # the next slice resumes without paying it
+                            nep = dispatch_get(pc)
+                            if nep is not None:
+                                self._resume = (generation, pc, nep)
+                        elif osr_on:
+                            # architectural exit (loop/side/link): count
+                            # the (head, target) site; a hot site grows
+                            # the trace tree at the target
+                            site = (tr.head, pc)
+                            n = sites_get(site, 0) + 1
+                            sites[site] = n
+                            if n == jit_threshold:
+                                tjit.promote(
+                                    tr, pc, dmap, dcache.keys, sor,
+                                    bundles_per_cycle,
+                                )
+                            if dispatch_get(pc) is not None:
+                                tjit.tree_links += 1
                         continue
                 base = pc & _BMASK
                 decoded = dmap_get(base)
@@ -805,6 +871,17 @@ class Core:
                         btb_append((base + idx, imm))
                         if len(btb) > _BTB_SIZE:
                             del btb[0]
+                        if hot is not None and imm <= base:
+                            # backward conditional branch: spin-waits,
+                            # compiler-generated outer loops — arm the
+                            # target like a modulo-loop back-edge
+                            hits = hot_get(imm, 0) + 1
+                            hot[imm] = hits
+                            if hits == jit_threshold:
+                                tjit.compile(
+                                    imm, dmap, dcache.keys, sor,
+                                    bundles_per_cycle,
+                                )
                         break
                     elif op == _BR:
                         pc = imm

@@ -18,6 +18,33 @@ constants, dispatch eliminated, hardwired-register guards proven away
 at compile time), ``exec``s it once, and hands the interpreter a *step
 closure* that runs steady-state iterations until the trace exits.
 
+On top of single-loop traces the registry grows **trace trees** with
+OSR-style mid-body entry (DESIGN.md §9):
+
+* **OSR entry** — every covered bundle address of a compiled trace is a
+  legal entry point.  The interpreter's dispatch map resolves any pc to
+  an :class:`_EntryPoint` ``(trace, bundle index)``; entering at a
+  nonzero index lazily compiles a *suffix closure* that ingests the
+  current architectural state (rotation indices, predicates, LC/EC,
+  sampling countdown — the same 22-argument capture contract the
+  steady-state closure uses) and executes from that bundle.  A suffix
+  that reaches the back-edge hands off to the steady-state closure via
+  the ``EXIT_LINK`` flag instead of re-interpreting;
+* **side-exit chaining** — architectural trace exits (``EXIT_LOOP``,
+  ``EXIT_SIDE``, ``EXIT_LINK``) are counted per ``(head, target)`` exit
+  site; a site crossing the hot threshold promotes the target into a
+  secondary trace rooted at the parent's tree.  Promotion compiles a
+  loop trace when the target is itself a loop head (nested loops) and a
+  straight-line *linear trace* otherwise (epilogue drains after
+  ``cloop``/``wtop``, early-exit tails, >``MAX_TRACE_BUNDLES`` loop
+  prefixes) — so control chains from compiled code to compiled code
+  instead of falling back to the interpreter forever;
+* **tree invalidation** — every node keys its covered bundles by decode
+  content exactly like a root trace, and staleness is evaluated on the
+  *union* of the tree's covered bundles: a live patch under any node
+  deoptimizes the whole tree before the next slice, while a
+  byte-identical rollback leaves the whole tree resident.
+
 The contract with the generic interpreter (DESIGN.md §9):
 
 * **bit-identical observables** — the closure replicates the generic
@@ -36,7 +63,7 @@ The contract with the generic interpreter (DESIGN.md §9):
   by the decode cache's content bytes and are revalidated whenever the
   decode journal observes a mutation (:meth:`TraceJit.sync`), so
   lfetch→nop / lfetch→lfetch.excl rewrites and their rollbacks — or a
-  chaos schedule tearing them mid-run — invalidate exactly the traces
+  chaos schedule tearing them mid-run — invalidate exactly the trees
   they touch before the next slice executes.
 
 The closure executes only while the memory fast path is legal (no
@@ -60,21 +87,41 @@ from ..memory.hierarchy import (
     STORE,
 )
 
-__all__ = ["CompiledTrace", "TraceJit", "compile_trace", "MAX_TRACE_BUNDLES"]
+__all__ = [
+    "CompiledTrace",
+    "TraceJit",
+    "compile_trace",
+    "compile_linear_trace",
+    "DEOPT_REASONS",
+    "MAX_TRACE_BUNDLES",
+    "HOT_THRESHOLD",
+]
 
 # deopt/exit flags returned by compiled traces (index into DEOPT_REASONS)
 EXIT_LOOP = 0      # loop completed (back-edge not taken) — normal epilog exit
 EXIT_SAMPLE = 1    # sampling countdown expired — fire the PMU interrupt
 EXIT_BUDGET = 2    # max_bundles / cycle_limit slice boundary reached
 EXIT_SIDE = 3      # a conditional branch left the trace mid-body
+EXIT_LINK = 4      # normal completion handoff (OSR suffix / linear region end)
 
-DEOPT_REASONS = ("loop-exit", "sample", "budget", "side-exit")
+DEOPT_REASONS = ("loop-exit", "sample", "budget", "side-exit", "link")
 
 #: Longest loop body (in bundles) the compiler will flatten.
 MAX_TRACE_BUNDLES = 32
 
-#: Back-edge executions before a loop head is considered hot.
-HOT_THRESHOLD = 16
+#: Shortest straight-line region worth a closure call (a 1-bundle
+#: linear trace would pay the call overhead for zero dispatch savings).
+MIN_LINEAR_BUNDLES = 2
+
+#: Back-edge executions before a loop head is considered hot.  The same
+#: threshold promotes hot trace-exit sites into secondary tree nodes.
+#: OSR entry makes early compilation cheap — the interpreter transfers
+#: in at the current iteration state instead of waiting for a cold
+#: re-entry — so the ramp is exactly this many interpreted iterations
+#: and a wrong guess costs one blacklisted compile attempt.  Three taken
+#: back-edges separate steady-state loops from if-else diamonds well
+#: enough to hold the fastpath bench's >=97% coverage floor.
+HOT_THRESHOLD = 3
 
 _NOP = int(Op.NOP)
 _ADD = int(Op.ADD)
@@ -148,12 +195,38 @@ _SUPPORTED = (
 )
 
 
+_CODE_CACHE: dict = {}
+_CODE_CACHE_CAP = 1024  # generated sources are small; cap is a leak guard
+
+
+def _compile_source(source: str, filename: str):
+    """Parse-once cache for generated trace source.
+
+    Cores simulating the same program emit byte-identical source for the
+    same trace head, and ``compile()`` dominates short-run wall clock.
+    The parsed code object is immutable and shared process-wide; each
+    ``exec`` still builds its own closure, so per-core state never leaks.
+    """
+    key = (filename, source)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_CAP:
+            del _CODE_CACHE[next(iter(_CODE_CACHE))]
+        code = compile(source, filename, "exec")
+        _CODE_CACHE[key] = code
+    return code
+
+
 class CompiledTrace:
-    """One compiled loop trace: the closure plus its validity metadata."""
+    """One compiled trace node: closures plus validity/tree metadata."""
 
-    __slots__ = ("fn", "head", "sor", "addrs", "keys", "n_bundles", "source")
+    __slots__ = (
+        "fn", "head", "sor", "addrs", "keys", "n_bundles", "source",
+        "kind", "root", "body", "bpc", "entry_fns", "children", "last_used",
+    )
 
-    def __init__(self, fn, head, sor, addrs, keys, n_bundles, source):
+    def __init__(self, fn, head, sor, addrs, keys, n_bundles, source,
+                 kind, body, bpc):
         self.fn = fn
         self.head = head
         self.sor = sor
@@ -161,6 +234,49 @@ class CompiledTrace:
         self.keys = keys        # decode-cache content keys at compile time
         self.n_bundles = n_bundles
         self.source = source    # generated Python (audits / debugging)
+        self.kind = kind        # "loop" (steady-state) or "linear" (one pass)
+        self.root = head        # tree root head (== head for root nodes)
+        self.body = body        # decoded bundles (OSR suffix compilation)
+        self.bpc = bpc          # bundles_per_cycle baked into the codegen
+        self.entry_fns: dict[int, object] = {}   # bundle idx -> OSR closure
+        self.children: list[int] = []            # promoted side-exit heads
+        self.last_used = 0      # entry stamp for cold-first eviction
+
+    def entry(self, idx: int):
+        """The OSR entry closure starting at covered bundle ``idx``.
+
+        Lazily generated and cached: a loop trace's suffix executes
+        ``body[idx:]`` once and hands off to the steady-state closure at
+        the back-edge (``EXIT_LINK``); a linear trace's suffix is just
+        the region tail.  Index 0 is the trace's own ``fn``.
+        """
+        if idx == 0:
+            return self.fn
+        fn = self.entry_fns.get(idx)
+        if fn is None:
+            mode = "entry" if self.kind == "loop" else "linear"
+            source = _generate(
+                self.head, self.body, self.sor, self.bpc, mode=mode, start=idx
+            )
+            namespace: dict = {}
+            exec(  # noqa: S102
+                _compile_source(source, f"<trace {self.head:#x}+{idx}>"),
+                namespace,
+            )
+            fn = namespace["__trace__"]
+            self.entry_fns[idx] = fn
+        return fn
+
+
+class _EntryPoint:
+    """One dispatch-map slot: a trace and the covered-bundle index."""
+
+    __slots__ = ("trace", "idx", "fn")
+
+    def __init__(self, trace: CompiledTrace, idx: int, fn=None) -> None:
+        self.trace = trace
+        self.idx = idx
+        self.fn = fn            # None until materialized (lazy OSR suffix)
 
 
 # -- code generation ----------------------------------------------------------
@@ -191,8 +307,13 @@ class _TraceAbort(Exception):
     """Raised by the emitter when the trace cannot be specialized."""
 
 
-def _walk(head: int, dmap: dict) -> list[tuple[int, tuple]]:
+def _walk(head: int, dmap: dict, relax: bool = False) -> list[tuple[int, tuple]]:
     """Collect the straight-line loop body ``head..back-edge`` bundles.
+
+    With ``relax`` (trace trees enabled) a loop branch targeting a
+    *different* head — an inner loop's back-edge inside the walked body
+    — is allowed and becomes a plain side exit instead of aborting the
+    walk, so outer loops of a nest compile too.
 
     Returns ``[(addr, decoded), ...]`` or raises :class:`_TraceAbort`.
     """
@@ -211,9 +332,11 @@ def _walk(head: int, dmap: dict) -> list[tuple[int, tuple]]:
             if op not in _SUPPORTED:
                 raise _TraceAbort(f"unsupported opcode {op}")
             if op in _LOOP_BRANCHES:
-                if entry[7] != head:
+                if entry[7] == head:
+                    closed = True
+                elif not relax:
                     raise _TraceAbort("loop branch to a different head")
-                closed = True
+                # relaxed: the inner back-edge is a side exit when taken
             elif op == _BR:
                 if entry[2] == 0 and entry[7] != head:
                     # unconditional goto elsewhere: not a loop body
@@ -228,40 +351,123 @@ def _walk(head: int, dmap: dict) -> list[tuple[int, tuple]]:
     raise _TraceAbort("loop body longer than MAX_TRACE_BUNDLES")
 
 
-def compile_trace(
-    head: int,
-    dmap: dict,
-    keys: dict,
-    sor: int,
-    bundles_per_cycle: int,
-) -> CompiledTrace | None:
-    """Compile the loop at ``head`` into a step closure, or ``None``.
+def _walk_linear(start: int, dmap: dict) -> list[tuple[int, tuple]]:
+    """Collect a straight-line region ``start..`` for a linear trace.
 
-    ``dmap``/``keys`` are the core's synced :class:`DecodeCache` views;
-    ``sor`` and ``bundles_per_cycle`` are baked into the generated code
-    (the interpreter guards ``sor`` equality at every trace entry).
+    The region extends until an unconditional transfer (which closes
+    it), an unsupported bundle, the edge of the decoded image, or
+    ``MAX_TRACE_BUNDLES`` — whichever comes first; execution past a
+    truncated end simply links back to the interpreter.
     """
-    try:
-        body = _walk(head, dmap)
-        source = _generate(head, body, sor, bundles_per_cycle)
-    except _TraceAbort:
-        return None
+    if start & _SMASK:
+        raise _TraceAbort("mid-bundle region start")
+    body: list[tuple[int, tuple]] = []
+    addr = start
+    for _ in range(MAX_TRACE_BUNDLES):
+        decoded = dmap.get(addr)
+        if decoded is None:
+            break
+        if any(entry[1] not in _SUPPORTED for entry in decoded[1]):
+            break
+        body.append((addr, decoded))
+        if any(
+            entry[1] == _BR and entry[2] == 0 for entry in decoded[1]
+        ):
+            break   # unconditional transfer closes the region
+        addr += BUNDLE_BYTES
+    if len(body) < MIN_LINEAR_BUNDLES:
+        raise _TraceAbort("straight-line region too short to pay for a call")
+    return body
+
+
+def _make_trace(head, body, sor, bpc, keys, kind, mode):
+    source = _generate(head, body, sor, bpc, mode=mode)
     namespace: dict = {}
-    exec(compile(source, f"<trace {head:#x}>", "exec"), namespace)  # noqa: S102
-    fn = namespace["__trace__"]
+    exec(_compile_source(source, f"<trace {head:#x}>"), namespace)  # noqa: S102
     addrs = tuple(addr for addr, _ in body)
     return CompiledTrace(
-        fn=fn,
+        fn=namespace["__trace__"],
         head=head,
         sor=sor,
         addrs=addrs,
         keys=tuple(keys.get(a) for a in addrs),
         n_bundles=len(body),
         source=source,
+        kind=kind,
+        body=body,
+        bpc=bpc,
     )
 
 
-def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> str:
+def compile_trace(
+    head: int,
+    dmap: dict,
+    keys: dict,
+    sor: int,
+    bundles_per_cycle: int,
+    relax: bool = False,
+) -> CompiledTrace | None:
+    """Compile the loop at ``head`` into a step closure, or ``None``.
+
+    ``dmap``/``keys`` are the core's synced :class:`DecodeCache` views;
+    ``sor`` and ``bundles_per_cycle`` are baked into the generated code
+    (the interpreter guards ``sor`` equality at every trace entry).
+    ``relax`` admits inner-loop back-edges as side exits (trace trees).
+    """
+    try:
+        body = _walk(head, dmap, relax=relax)
+        return _make_trace(head, body, sor, bundles_per_cycle, keys,
+                           "loop", "loop")
+    except _TraceAbort:
+        return None
+
+
+def compile_linear_trace(
+    start: int,
+    dmap: dict,
+    keys: dict,
+    sor: int,
+    bundles_per_cycle: int,
+) -> CompiledTrace | None:
+    """Compile the straight-line region at ``start``, or ``None``.
+
+    Linear traces cover what loop traces cannot: epilogue drains after
+    ``cloop``/``wtop``, early-exit tails, and the prefixes of loop
+    bodies longer than ``MAX_TRACE_BUNDLES``.  The closure executes the
+    region once and returns ``EXIT_LINK`` at its end (or ``EXIT_SIDE``
+    at a taken conditional branch), chaining into the next trace via
+    the dispatch map.
+    """
+    try:
+        body = _walk_linear(start, dmap)
+        return _make_trace(start, body, sor, bundles_per_cycle, keys,
+                           "linear", "linear")
+    except _TraceAbort:
+        return None
+
+
+def _generate(
+    head: int,
+    body: list[tuple[int, tuple]],
+    sor: int,
+    bpc: int,
+    mode: str = "loop",
+    start: int = 0,
+) -> str:
+    """Emit the closure source for one trace.
+
+    ``mode`` selects the control skeleton around the shared slot
+    emitters:
+
+    * ``"loop"`` — the steady-state closure: ``while True`` over the
+      whole body, back-edge to ``head`` continues in place;
+    * ``"entry"`` — an OSR suffix of a loop trace: one pass over
+      ``body[start:]``; a taken back-edge returns ``EXIT_LINK`` at
+      ``head`` (the dispatch map then enters the steady-state closure);
+    * ``"linear"`` — a straight-line region (``start`` slices for OSR
+      entry): one pass; the region end or its closing unconditional
+      branch returns ``EXIT_LINK``, conditional exits ``EXIT_SIDE``.
+    """
     sor32 = 32 + sor
     e = _Emit()
 
@@ -332,7 +538,7 @@ def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> s
         e.dedent()
         e.dedent()
 
-    def emit_taken(base: int, idx: int, target: int) -> None:
+    def emit_taken(base: int, idx: int, target: int, link: bool = False) -> None:
         """Taken-branch exit: bookkeeping + retire, then leave or loop."""
         e("taken_branches += 1")
         e(f"btb_append(({base + idx}, {target}))")
@@ -341,11 +547,15 @@ def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> s
         e("del btb[0]")
         e.dedent()
         emit_retire(idx + 1, target)
-        if target == head:
+        if target == head and mode == "loop":
             e("iters += 1")
             e("continue")
+        elif target == head and mode == "entry":
+            # OSR suffix reached the back-edge: hand off to the
+            # steady-state closure through the dispatch map
+            e(ret(str(target), EXIT_LINK))
         else:
-            e(ret(str(target), EXIT_SIDE))
+            e(ret(str(target), EXIT_LINK if link else EXIT_SIDE))
 
     def emit_rotate() -> None:
         """One register rotation (shared by ctop/wtop arms)."""
@@ -604,9 +814,14 @@ def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> s
             e("prl[16 + rrb_pr] = False")
             e.dedent()
         elif op == _BR or op == _BR_COND:
-            # guard already evaluated (qp wrapper above) -> taken
-            emit_taken(base, idx, imm)
-        else:  # pragma: no cover — _walk filters unsupported ops
+            # guard already evaluated (qp wrapper above) -> taken; an
+            # unconditional br closing a linear region is its normal
+            # exit (link), not a deviation from the trace
+            emit_taken(
+                base, idx, imm,
+                link=(mode == "linear" and op == _BR and qp == 0),
+            )
+        else:  # pragma: no cover — the walkers filter unsupported ops
             raise _TraceAbort(f"unsupported opcode {op}")
 
         if guarded:
@@ -636,9 +851,11 @@ def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> s
     e("mem_write_i64 = mem.write_i64")
     e("btb_append = btb.append")
     e("iters = 0")
-    e("while True:")
-    e.indent()
-    for n, (addr, decoded) in enumerate(body):
+    if mode == "loop":
+        e("while True:")
+        e.indent()
+    emitted = body if mode == "loop" else body[start:]
+    for n, (addr, decoded) in enumerate(emitted):
         n_total = decoded[0]
         entries = decoded[1]
         e(f"# -- bundle {addr:#x}")
@@ -651,10 +868,15 @@ def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> s
             emit_slot(addr, entry)
         # fall-through retirement (no branch taken in this bundle)
         emit_retire(n_total, addr + BUNDLE_BYTES)
-        if n == len(body) - 1:
-            # fell past the back-edge bundle: the loop is done
-            e(ret(str(addr + BUNDLE_BYTES), EXIT_LOOP))
-    e.dedent()
+        if n == len(emitted) - 1:
+            if mode == "linear":
+                # region end: chain to whatever follows it
+                e(ret(str(addr + BUNDLE_BYTES), EXIT_LINK))
+            else:
+                # fell past the back-edge bundle: the loop is done
+                e(ret(str(addr + BUNDLE_BYTES), EXIT_LOOP))
+    if mode == "loop":
+        e.dedent()
     e.dedent()
     return "\n".join(e.lines) + "\n"
 
@@ -663,7 +885,7 @@ def _generate(head: int, body: list[tuple[int, tuple]], sor: int, bpc: int) -> s
 
 
 class TraceJit:
-    """Per-core trace registry: hotness, compilation, invalidation, stats."""
+    """Per-core trace registry: hotness, compilation, trees, eviction."""
 
     __slots__ = (
         "traces",
@@ -677,14 +899,24 @@ class TraceJit:
         "iters",
         "compiled_bundles",
         "deopts",
+        "dispatch",
+        "sites",
+        "osr",
+        "generation",
+        "osr_entries",
+        "tree_links",
+        "resume_hits",
+        "promotions",
+        "entry_compiles",
+        "evicted",
     )
 
     def __init__(self, threshold: int = HOT_THRESHOLD) -> None:
-        #: loop head -> CompiledTrace (the interpreter dispatches on this)
+        #: trace head -> CompiledTrace (every resident tree node)
         self.traces: dict[int, CompiledTrace] = {}
         #: loop head -> taken back-edge count since (re)reset
         self.hot: dict[int, int] = {}
-        #: heads that failed to compile (retried after the next patch)
+        #: heads/targets that failed to compile (retried after a patch)
         self.blacklist: set[int] = set()
         self.threshold = threshold
         self.epoch_seen = -1
@@ -693,38 +925,112 @@ class TraceJit:
         self.entries = 0            # compiled-trace dispatches
         self.iters = 0              # steady-state iterations run compiled
         self.compiled_bundles = 0   # bundles executed inside traces
-        self.deopts = [0, 0, 0, 0]  # indexed by EXIT_* flag
+        self.deopts = [0, 0, 0, 0, 0]  # indexed by EXIT_* flag
+        #: covered bundle address -> _EntryPoint (the interpreter
+        #: dispatches on this; index 0 slots win over mid-body slots)
+        self.dispatch: dict[int, _EntryPoint] = {}
+        #: (parent head, exit target) -> architectural exit count;
+        #: crossing the threshold promotes the target into the tree
+        self.sites: dict[tuple[int, int], int] = {}
+        #: OSR + trace trees enabled (``REPRO_TRACE_JIT=osr-off`` pins
+        #: the PR-5 loop-head-only behavior for CI bisection)
+        self.osr = True
+        #: bumped on every invalidation/eviction — stale-entry fence
+        #: for the core's cached budget-resume hint
+        self.generation = 0
+        self.osr_entries = 0        # dispatches entering at a nonzero index
+        self.tree_links = 0         # trace exits chaining into another trace
+        self.resume_hits = 0        # budget exits resumed without a re-probe
+        self.promotions = 0         # side-exit targets compiled into the tree
+        self.entry_compiles = 0     # lazily generated OSR suffix closures
+        self.evicted = 0            # nodes evicted by the resource governor
 
-    def sync(self, dcache) -> dict[int, CompiledTrace]:
+    def sync(self, dcache) -> dict[int, _EntryPoint]:
         """Revalidate compiled traces against the decode journal.
 
         Called once per ``run()`` slice, right after ``DecodeCache.sync``
         — the same cadence the generic interpreter refreshes its decoded
         view, so a patched bundle can never execute through a stale
-        trace.  Traces whose covered content keys still match are kept
-        (a patch + byte-identical rollback does not deoptimize).
+        trace.  Staleness is tree-wide: a key mismatch under *any* node
+        invalidates every node sharing that root (the tree's covered-
+        bundle union is its validity domain), while a patch + byte-
+        identical rollback leaves the whole tree resident.  Returns the
+        entry-point dispatch map.
         """
         epoch = dcache.epoch
         if epoch != self.epoch_seen:
             self.epoch_seen = epoch
             if self.traces:
                 keys = dcache.keys
-                stale = [
-                    h
-                    for h, tr in self.traces.items()
+                stale_roots = {
+                    tr.root
+                    for tr in self.traces.values()
                     if any(keys.get(a) != k for a, k in zip(tr.addrs, tr.keys))
-                ]
-                for h in stale:
-                    del self.traces[h]
-                    self.invalidations += 1
-                    self.hot[h] = 0
+                }
+                if stale_roots:
+                    dead = [
+                        h for h, tr in self.traces.items()
+                        if tr.root in stale_roots
+                    ]
+                    for h in dead:
+                        del self.traces[h]
+                        self.invalidations += 1
+                        self.hot[h] = 0
+                    self.generation += 1
+                    self._rebuild_dispatch()
             if self.blacklist:
                 # patched code may have become compilable — retry after
                 # the head re-proves itself hot
                 for h in self.blacklist:
                     self.hot[h] = 0
                 self.blacklist.clear()
-        return self.traces
+            # exit-site hotness restarts after any patch: dead trees'
+            # sites must not promote against stale parents, and patched
+            # code re-proves its exits like a blacklisted head does
+            self.sites.clear()
+        return self.dispatch
+
+    def _register(self, trace: CompiledTrace) -> None:
+        """Publish a trace's entry points into the dispatch map.
+
+        Every covered bundle is an OSR entry; on address conflicts a
+        trace's *own* head (index 0: the steady-state/region closure)
+        wins over another trace's mid-body suffix.  With OSR off only
+        the head is published (loop-boundary dispatch, PR-5 behavior).
+        """
+        d = self.dispatch
+        if not self.osr:
+            d[trace.head] = _EntryPoint(trace, 0, trace.fn)
+            return
+        for i, addr in enumerate(trace.addrs):
+            cur = d.get(addr)
+            if cur is None or (i == 0 and cur.idx != 0):
+                d[addr] = _EntryPoint(
+                    trace, i, trace.fn if i == 0 else trace.entry_fns.get(i)
+                )
+
+    def _rebuild_dispatch(self) -> None:
+        # deterministic: traces iterate in compile order, and the
+        # conflict rule is order-independent for index-0 slots
+        self.dispatch.clear()
+        for trace in self.traces.values():
+            self._register(trace)
+
+    def _adopt(self, trace: CompiledTrace, root: int) -> None:
+        trace.root = root
+        self.traces[trace.head] = trace
+        self.compiles += 1
+        self._register(trace)
+
+    def materialize(self, ep: _EntryPoint):
+        """Generate (or fetch) the OSR suffix closure for one entry."""
+        trace = ep.trace
+        fn = trace.entry_fns.get(ep.idx)
+        if fn is None:
+            fn = trace.entry(ep.idx)
+            self.entry_compiles += 1
+        ep.fn = fn
+        return fn
 
     def compile(
         self, head: int, dmap: dict, keys: dict, sor: int, bpc: int
@@ -734,13 +1040,137 @@ class TraceJit:
             return existing
         if head in self.blacklist:
             return None
-        trace = compile_trace(head, dmap, keys, sor, bpc)
+        trace = compile_trace(head, dmap, keys, sor, bpc, relax=self.osr)
+        if trace is None and self.osr:
+            # not a compilable loop (too long, irregular) — cover its
+            # straight-line prefix and chain from there
+            trace = compile_linear_trace(head, dmap, keys, sor, bpc)
         if trace is None:
             self.blacklist.add(head)
             return None
-        self.traces[head] = trace
-        self.compiles += 1
+        self._adopt(trace, root=head)
         return trace
+
+    def promote(
+        self,
+        parent: CompiledTrace,
+        target: int,
+        dmap: dict,
+        keys: dict,
+        sor: int,
+        bpc: int,
+    ) -> CompiledTrace | None:
+        """Grow the tree: compile a hot exit target off ``parent``.
+
+        Loop-shaped targets (nested-loop heads) become loop nodes even
+        when a parent's OSR entry already covers the address — a
+        dedicated steady-state closure beats one-iteration suffix calls
+        and takes over the dispatch slot.  Straight-line targets get a
+        linear node the same way (head slots win over mid-body slots).
+        """
+        if (
+            not self.osr
+            or target & _SMASK
+            or target in self.blacklist
+            or target in self.traces
+        ):
+            return None
+        covered = self.dispatch.get(target)
+        if covered is not None and covered.idx == 0:
+            return None
+        trace = compile_trace(target, dmap, keys, sor, bpc, relax=True)
+        if trace is None:
+            # straight-line fallback: a dedicated region node beats a
+            # per-call OSR suffix (idx-0 registration takes the slot)
+            trace = compile_linear_trace(target, dmap, keys, sor, bpc)
+        if trace is None:
+            self.blacklist.add(target)
+            return None
+        self._adopt(trace, root=parent.root)
+        parent.children.append(target)
+        self.promotions += 1
+        return trace
+
+    def compiled_footprint(self) -> int:
+        """Resident compiled bundles (tree nodes count like any trace)."""
+        return sum(tr.n_bundles for tr in self.traces.values())
+
+    def evict_cold(self, budget: int) -> list[tuple[int, str, int]]:
+        """Evict coldest-entered nodes until the footprint fits ``budget``.
+
+        Returns ``[(head, kind, n_bundles), ...]`` victims for the
+        governor's ledger.  Coldness is the last-entry stamp (ties break
+        on head) — a pure function of the simulated run, so replicas
+        evict identically.  Evicted heads re-prove hotness from zero.
+        """
+        victims: list[tuple[int, str, int]] = []
+        total = self.compiled_footprint()
+        if total <= budget:
+            return victims
+        order = sorted(
+            self.traces.items(), key=lambda kv: (kv[1].last_used, kv[0])
+        )
+        for head, trace in order:
+            if total <= budget:
+                break
+            del self.traces[head]
+            self.hot[head] = 0
+            total -= trace.n_bundles
+            victims.append((head, trace.kind, trace.n_bundles))
+            self.evicted += 1
+        self.generation += 1
+        self._rebuild_dispatch()
+        return victims
+
+    def warm_seed(self, shapes, dcache, bpc: int) -> int:
+        """Recompile persisted tree shapes before the first instruction.
+
+        ``shapes`` is the profile DB's ``jit_trees`` list —
+        ``[root, start, kind, sor]`` per node, recorded at a prior run's
+        end.  Compilation is strictly validated and best-effort: a torn
+        or stale shape is skipped (the run stays correct, the node just
+        re-proves hotness the cold way).  The stored ``sor`` matters
+        because at retired 0 the registers are pre-``alloc`` (sor 0);
+        the interpreter's per-entry ``sor`` guard keeps a wrong-rotation
+        node inert rather than wrong.
+        """
+        if not self.osr or not shapes:
+            return 0
+        dmap = dcache.sync()
+        keys = dcache.keys
+        count = 0
+        for shape in shapes:
+            if not isinstance(shape, (list, tuple)) or len(shape) != 4:
+                continue
+            root, start, kind, tsor = shape
+            if (
+                not isinstance(root, int)
+                or not isinstance(start, int)
+                or not isinstance(tsor, int)
+                or kind not in ("loop", "linear")
+                or start & _SMASK
+                or start in self.traces
+                or not 0 <= tsor <= 96
+            ):
+                continue
+            if kind == "loop":
+                trace = compile_trace(start, dmap, keys, tsor, bpc, relax=True)
+            else:
+                trace = compile_linear_trace(start, dmap, keys, tsor, bpc)
+            if trace is None:
+                continue
+            self._adopt(trace, root=root)
+            # already proven hot by a prior run; pin the counter past
+            # the exact-threshold trigger so back-edges skip recompiles
+            self.hot[start] = self.threshold
+            count += 1
+        return count
+
+    def tree_shapes(self) -> list[list]:
+        """Canonical resident tree shapes for profile-DB persistence."""
+        return sorted(
+            [tr.root, tr.head, tr.kind, tr.sor] for tr in self.traces.values()
+        )
 
     def stats(self) -> dict:
         """Observability snapshot (bench / CobraReport fast-path lines)."""
@@ -750,6 +1180,15 @@ class TraceJit:
             "entries": self.entries,
             "iterations": self.iters,
             "compiled_bundles": self.compiled_bundles,
+            "osr_entries": self.osr_entries,
+            "tree_links": self.tree_links,
+            "resume_hits": self.resume_hits,
+            "promotions": self.promotions,
+            "evicted": self.evicted,
+            "exit_sites": {
+                f"{head:#x}->{target:#x}": count
+                for (head, target), count in sorted(self.sites.items())
+            },
             "deopts": {
                 reason: count
                 for reason, count in zip(DEOPT_REASONS, self.deopts)

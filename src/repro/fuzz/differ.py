@@ -1,6 +1,6 @@
 """Differential execution of one scenario across all must-agree axes.
 
-Every generated scenario is executed across twelve must-agree axes,
+Every generated scenario is executed across thirteen must-agree axes,
 each on a fresh machine with an identical program build:
 
 1. ``none``      — plain interpreter, no COBRA (ground truth);
@@ -9,30 +9,35 @@ each on a fresh machine with an identical program build:
    core; must match axis 2 *fully* — output bytes, cycles, retired
    instructions, memory-event counters, and the captured HPM sample
    stream (the JIT is a fast path, never a semantics or timing change);
-4. ``faulted``   — adaptive under a seeded fault schedule
+4. ``osr-off``   — trace JIT on but OSR mid-loop entry and trace trees
+   disabled on every core (loop-head-only dispatch, the
+   ``REPRO_TRACE_JIT=osr-off`` CI bisection mode); must match axis 2
+   *fully* on the same six observables — OSR only widens *where*
+   compiled code may be entered, never what it computes or when;
+5. ``faulted``   — adaptive under a seeded fault schedule
    (``fault_seed``); outputs must match ground truth and the fault
    ledger must be fully accounted;
-5. ``ckpt``      — adaptive persisting to a fresh in-memory checkpoint
+6. ``ckpt``      — adaptive persisting to a fresh in-memory checkpoint
    store, straight through;
-6. a crash run killed at the midpoint durable write of axis 5's store;
-7. ``resume``    — warm restart from the crashed store; outputs must
+7. a crash run killed at the midpoint durable write of axis 6's store;
+8. ``resume``    — warm restart from the crashed store; outputs must
    match the straight-through run and the recovery ledger must account
    every discarded artifact;
-8. ``db-cold``   — adaptive attached to a fresh in-memory profile
+9. ``db-cold``   — adaptive attached to a fresh in-memory profile
    database; a cold database is pure observation, so this must match
    axis 2 *fully* (same six observables as the JIT axis);
-9. ``db-warm``   — adaptive re-run against the database axis 8 just
+10. ``db-warm``  — adaptive re-run against the database axis 9 just
    recorded; a warm start may legitimately move deployments earlier
    (cycles change) but outputs must match ground truth;
-10. ``db-corrupt`` — adaptive against axis 9's database with one byte
+11. ``db-corrupt`` — adaptive against axis 10's database with one byte
    flipped; a damaged database must load as absent, so this again
    matches axis 2 *fully*;
-11. ``overloaded`` — adaptive under the resource governor with a seeded
+12. ``overloaded`` — adaptive under the resource governor with a seeded
    mixed overload schedule (budget shrinks, sample floods, slow disk,
    ingest storms); degradation may only shed optimization work, so
    outputs must match ground truth and the overload ledger must be
    fully accounted;
-12. ``fleet-faulted`` — a fleet of two instances (one cold, one warm)
+13. ``fleet-faulted`` — a fleet of two instances (one cold, one warm)
    against one optimization daemon over a seeded hostile transport
    (frame drop/dup/reorder/delay/corrupt/poison, partitions, one
    daemon crash); every per-instance output digest must match ground
@@ -91,6 +96,7 @@ class RunObservables:
     compiles: int
     ledger_accounted: bool | None   # None = no injector armed
     durable_ops: int = 0
+    tree_links: int = 0             # compiled-to-compiled exit handoffs
 
 
 def _sample_key(s: Sample) -> str:
@@ -113,6 +119,7 @@ def _run_axis(
     *,
     cobra: bool,
     jit: bool,
+    osr: bool = True,
     faults: FaultConfig | None = None,
     disk: MemoryDisk | None = None,
     profile_db: MemoryDisk | None = None,
@@ -124,10 +131,11 @@ def _run_axis(
 
     machine = scenario_machine(params)
     prog = build_scenario(params, machine)
-    # the per-core JIT default tracks REPRO_TRACE_JIT at import; force it
-    # per axis so the sweep is environment-independent
+    # the per-core JIT/OSR defaults track REPRO_TRACE_JIT at import;
+    # force them per axis so the sweep is environment-independent
     for core in machine.cores:
         core.jit_enabled = jit
+        core.osr_enabled = jit and osr
 
     captured: list[Sample] = []
     ledger_accounted: bool | None = None
@@ -135,6 +143,7 @@ def _run_axis(
     if not cobra:
         result = prog.run(max_bundles=MAX_BUNDLES)
         compiles = 0
+        tree_links = 0
     else:
         config = machine.config.cobra
         if faults is not None:
@@ -160,6 +169,7 @@ def _run_axis(
             captured.extend(monitor.usb)   # stragglers never drained
         report = engine.report()
         compiles = (report.fastpath or {}).get("compiles", 0)
+        tree_links = (report.fastpath or {}).get("tree_links", 0)
         if report.faults is not None:
             ledger_accounted = report.faults.accounted
         if disk is not None:
@@ -175,6 +185,7 @@ def _run_axis(
         compiles=compiles,
         ledger_accounted=ledger_accounted,
         durable_ops=durable_ops,
+        tree_links=tree_links,
     )
 
 
@@ -280,6 +291,17 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
             want, got = getattr(adaptive, observable), getattr(nojit, observable)
             if want != got:
                 diverge("jit-off vs jit-on", observable, want, got)
+
+    noosr = attempt("osr-off", cobra=True, jit=True, osr=False)
+    if adaptive and noosr:
+        # OSR entry/trace trees only widen where compiled code may be
+        # entered — with them off the run must stay fully bit-identical
+        # (jit-off agreement then pins the whole JIT ladder transitively)
+        for observable in ("digest", "cycles", "retired", "events",
+                           "n_samples", "samples_sha"):
+            want, got = getattr(adaptive, observable), getattr(noosr, observable)
+            if want != got:
+                diverge("osr-off vs osr-on", observable, want, got)
 
     faulted = attempt(
         "faulted", cobra=True, jit=True,
@@ -396,6 +418,7 @@ def run_scenario(params: ScenarioParams) -> ScenarioResult:
         divergences=tuple(divergences),
         samples=obs["adaptive"].n_samples if "adaptive" in obs else 0,
         compiles=obs["adaptive"].compiles if "adaptive" in obs else 0,
+        tree_links=obs["adaptive"].tree_links if "adaptive" in obs else 0,
     )
 
 

@@ -9,8 +9,8 @@ makes the two-integer repro contract and the shrinker work at all.
 The sampled space deliberately straddles every behavioural cliff the
 runtime has:
 
-* trip counts around the trace-JIT hot threshold (16 back-edges) and
-  around the 32-bundle trace limit (term count drives bundle count),
+* trip counts around the trace-JIT hot threshold and around the
+  32-bundle trace limit (term count drives bundle count),
 * chunk sizes that do / do not align to the 128-byte cache line, so
   adjacent threads' chunks share a line (``share_boundary``),
 * stencil shifts that make threads read into each other's chunks,
@@ -84,9 +84,9 @@ def generate_params(seed: int, *, fault_seed: int | None = None) -> ScenarioPara
         chunk = rng.choice((6, 10, 13, 18, 21, 27))
     else:
         chunk = rng.choice((16, 32, 48))
-    # trip counts per chunk straddle the hot threshold (16); outer reps
-    # make short loops cumulatively hot, so both JIT-eligible and
-    # JIT-ineligible scenarios occur naturally.
+    # short trip counts keep some loops near the hot threshold; outer
+    # reps make them cumulatively hot, so ramp-dominated and
+    # steady-state-dominated scenarios both occur naturally.
     reps = rng.randint(2, 6)
 
     n_terms = rng.randint(1, 8) if loop_class == "stream" else rng.randint(1, 6)
@@ -98,12 +98,12 @@ def generate_params(seed: int, *, fault_seed: int | None = None) -> ScenarioPara
     drawn_fault_seed = rng.randint(0, 2**31 - 1)
 
     # ~1 in 8 seeds is forced into the tiny trip-count regime: the
-    # smallest chunk, 2 reps, depth-1 rows.  Cumulative back-edges stay
-    # under the 16-back-edge hot threshold for *every* loop in the
-    # scenario, guaranteeing JIT-ineligible coverage per loop class —
-    # which a uniform draw makes vanishingly rare for gather (whose
-    # inner nest otherwise goes hot almost immediately).  A separate
-    # RNG stream keeps the main draw sequence (above) stable.
+    # smallest chunk, 2 reps, depth-1 rows.  Short runs like these keep
+    # compiled traces from ever chaining exits into each other,
+    # guaranteeing tree-free coverage per loop class — which a uniform
+    # draw makes vanishingly rare for gather (whose inner nest promotes
+    # into a trace tree almost immediately).  A separate RNG stream
+    # keeps the main draw sequence (above) stable.
     if random.Random(seed ^ 0x714A).random() < 0.125:
         chunk, reps, nest_depth, share_boundary = 6, 2, 1, True
 

@@ -47,6 +47,7 @@ class ScenarioResult:
     divergences: tuple[Divergence, ...]
     samples: int = 0        # HPM samples captured on the adaptive axis
     compiles: int = 0       # trace-JIT compiles on the adaptive axis
+    tree_links: int = 0     # compiled-to-compiled exit handoffs (adaptive)
 
     @property
     def ok(self) -> bool:
@@ -100,6 +101,7 @@ class FuzzReport:
                     "digests": dict(r.digests),
                     "samples": r.samples,
                     "compiles": r.compiles,
+                    "tree_links": r.tree_links,
                     "divergences": [
                         {
                             "axis": d.axis,

@@ -122,6 +122,8 @@ class ResourceGovernor:
         self.deploys_refused = 0
         self.evictions = 0
         self.evicted_bundles = 0
+        self.jit_evictions = 0
+        self.jit_evicted_bundles = 0
         self.shed_samples = 0
         self.shed_batches = 0
         self.db_compacted = 0
@@ -162,6 +164,20 @@ class ResourceGovernor:
                 "trace_evicted",
                 "governor",
                 f"cold {opt} trace for loop {head:#x} evicted "
+                f"({n_bundles} bundle(s))",
+            )
+
+    def note_jit_evicted(
+        self, cpu_id: int, victims: list[tuple[int, str, int]]
+    ) -> None:
+        """A core's trace JIT freed cold tree nodes; ledger each one."""
+        for head, kind, n_bundles in victims:
+            self.jit_evictions += 1
+            self.jit_evicted_bundles += n_bundles
+            self.faults.observe(
+                "jit_traces_evicted",
+                "governor",
+                f"cpu {cpu_id}: cold {kind} trace node {head:#x} evicted "
                 f"({n_bundles} bundle(s))",
             )
 
@@ -208,7 +224,7 @@ class ResourceGovernor:
 
     # -- one governed wake -------------------------------------------------
 
-    def on_wake(self, retired: int, trace_cache, outbox=None) -> str:
+    def on_wake(self, retired: int, trace_cache, outbox=None, cores=None) -> str:
         """Inject, enforce budgets, measure pressure, move the ladder."""
         self.wakes += 1
         if self._flood_left > 0:
@@ -221,6 +237,16 @@ class ResourceGovernor:
         # copies down to the budget; this is reclamation, not pressure
         if trace_cache.used_bundles > self.trace_budget:
             self.note_evicted(trace_cache.evict_cold(self.trace_budget))
+        # the trace JIT's tree nodes are a second compiled footprint:
+        # bound each core's resident bundles the same cold-first way
+        jit_budget = self.config.jit_node_budget
+        if cores is not None and jit_budget is not None:
+            for core in cores:
+                tjit = core.trace_jit
+                if tjit.compiled_footprint() > jit_budget:
+                    self.note_jit_evicted(
+                        core.cpu_id, tjit.evict_cold(jit_budget)
+                    )
         if outbox is not None and len(outbox.windows) > self.config.outbox_batches:
             shed = len(outbox.windows) - self.config.outbox_batches
             del outbox.windows[:shed]
@@ -329,6 +355,8 @@ class ResourceGovernor:
             "deploys_refused": self.deploys_refused,
             "evictions": self.evictions,
             "evicted_bundles": self.evicted_bundles,
+            "jit_evictions": self.jit_evictions,
+            "jit_evicted_bundles": self.jit_evicted_bundles,
             "shed_samples": self.shed_samples,
             "shed_batches": self.shed_batches,
             "db_compacted": self.db_compacted,

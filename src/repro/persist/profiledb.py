@@ -111,6 +111,7 @@ def empty_entry() -> dict:
         "cpi_count": 0,
         "decisions": {},
         "flips": 0,
+        "jit_trees": [],
     }
 
 
@@ -191,6 +192,20 @@ def _merge_decisions(a: dict, b: dict) -> dict:
     }
 
 
+def _merge_trees(a, b) -> list:
+    # canonical sorted union of [root, head, kind, sor] shapes; shapes
+    # may arrive as lists (JSON round-trip) or tuples (fresh export) —
+    # normalize so merged output is byte-canonical either way
+    shapes = {
+        tuple(shape)
+        for trees in (a, b)
+        if isinstance(trees, (list, tuple))
+        for shape in trees
+        if isinstance(shape, (list, tuple)) and len(shape) == 4
+    }
+    return sorted(list(shape) for shape in shapes)
+
+
 def merge_entries(a: dict, b: dict) -> dict:
     """Merge two entries for the same key.
 
@@ -206,6 +221,9 @@ def merge_entries(a: dict, b: dict) -> dict:
         "cpi_count": a["cpi_count"] + b["cpi_count"],
         "decisions": _merge_decisions(a["decisions"], b["decisions"]),
         "flips": a["flips"] + b["flips"],
+        # additive schema field: entries written before trace-tree
+        # persistence merge as having no shapes
+        "jit_trees": _merge_trees(a.get("jit_trees"), b.get("jit_trees")),
     }
 
 

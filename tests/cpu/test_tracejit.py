@@ -33,18 +33,23 @@ def _arch_state(core):
     )
 
 
-def _run(src: str, jit: bool):
+def _run(src: str, jit: bool, osr: bool = True, interval: int = 0):
     machine = Machine(itanium2_smp(1))
     image = assemble(src)
     machine.load_image(image)
     core = machine.cores[0]
     core.jit_enabled = jit
+    core.osr_enabled = jit and osr
+    if interval:
+        core.enable_sampling(interval, lambda c: None)
     core.start(image.base)
     Scheduler(machine.cores).run_until_halt(1_000_000)
     return core, machine
 
 
-def _assert_equivalent(src: str, expect_compile: bool = True):
+def _assert_equivalent(
+    src: str, expect_compile: bool = True, expect_iters: bool = True
+):
     ref, ref_machine = _run(src, jit=False)
     fast, fast_machine = _run(src, jit=True)
     assert _arch_state(ref) == _arch_state(fast)
@@ -56,7 +61,8 @@ def _assert_equivalent(src: str, expect_compile: bool = True):
     if expect_compile:
         stats = fast.trace_jit.stats()
         assert stats["compiles"] >= 1
-        assert stats["iterations"] > 0
+        if expect_iters:  # linear-only coverage runs one-pass regions
+            assert stats["iterations"] > 0
         assert stats["compiled_bundles"] > 0
     return fast
 
@@ -119,16 +125,41 @@ class TestEquivalence:
         fast = _assert_equivalent(src, expect_compile=False)
         assert fast.trace_jit.compiles == 0
 
-    def test_overlong_loop_blacklisted_not_miscompiled(self):
+    OVERLONG_SRC_TEMPLATE = (
+        "mov ar.lc=99\nmov r1=0\n.loop:\n"
+        "{filler}\nadd r1=1,r1\nbr.cloop.sptk .loop\nhalt\n"
+    )
+
+    def _overlong_src(self) -> str:
         filler = "\n".join(
             f"add r{2 + (i % 6)}=1,r{2 + (i % 6)}"
             for i in range(3 * (MAX_TRACE_BUNDLES + 2))
         )
-        src = (
-            "mov ar.lc=99\nmov r1=0\n.loop:\n"
-            f"{filler}\nadd r1=1,r1\nbr.cloop.sptk .loop\nhalt\n"
+        return self.OVERLONG_SRC_TEMPLATE.format(filler=filler)
+
+    def test_overlong_loop_covered_by_linear_chain(self):
+        # the body exceeds MAX_TRACE_BUNDLES, so no single loop trace
+        # fits — with trace trees the prefix compiles as a linear node
+        # and hot exit sites chain further linear nodes down the body
+        fast = _assert_equivalent(self._overlong_src(), expect_iters=False)
+        stats = fast.trace_jit.stats()
+        assert stats["compiles"] >= 2
+        assert stats["tree_links"] >= 1
+        assert any(
+            tr.kind == "linear" for tr in fast.trace_jit.traces.values()
         )
-        fast = _assert_equivalent(src, expect_compile=False)
+
+    def test_overlong_loop_osr_off_blacklisted_not_miscompiled(self):
+        # without OSR/trees the pre-tree contract holds: the loop is
+        # blacklisted and everything runs through the interpreter
+        src = self._overlong_src()
+        ref, ref_machine = _run(src, jit=False)
+        fast, fast_machine = _run(src, jit=True, osr=False)
+        assert _arch_state(ref) == _arch_state(fast)
+        assert (
+            ref_machine.aggregate_events().snapshot()
+            == fast_machine.aggregate_events().snapshot()
+        )
         assert fast.trace_jit.compiles == 0
         assert fast.trace_jit.blacklist
 
@@ -156,12 +187,14 @@ class _SplitRun:
     mid-run patch lands at the exact same bundle count with and without
     the JIT — the only way 'bit-identical' is even well-defined."""
 
-    def __init__(self, src: str, jit: bool):
+    def __init__(self, src: str, jit: bool, osr: bool = True):
         self.machine = Machine(itanium2_smp(1))
         self.image = assemble(src)
         self.machine.load_image(self.image)
         self.core = self.machine.cores[0]
         self.core.jit_enabled = jit
+        # pin OSR explicitly so the suite is REPRO_TRACE_JIT-independent
+        self.core.osr_enabled = jit and osr
         self.core.start(self.image.base)
 
     def run(self, bundles: int):
@@ -275,15 +308,148 @@ class TestMultiVersionPatchCycle:
         assert core.trace_jit.compiles >= 2
 
 
+NESTED_SRC = """
+mov r1=0
+mov r2=0
+mov r3=0
+.outer:
+mov ar.lc=24
+.inner:
+add r1=1,r1
+br.cloop.sptk .inner
+add r2=7,r2
+add r2=1,r2
+add r3=1,r3
+cmp.lt p6,p7=r3,120
+(p6) br.cond.sptk .outer
+halt
+"""
+
+
+class TestTraceTrees:
+    """Side-exit chaining: nested loops and epilogue regions become
+    secondary trace nodes rooted at the first hot trace, and tree-wide
+    invalidation treats the union of covered bundles as one validity
+    domain."""
+
+    def _grown_tree(self, bundles: int = 2000) -> _SplitRun:
+        # ~30 bundles per outer iteration x 120 iterations: at 2000 the
+        # tree (inner loop + epilogue + outer loop) is warm and the
+        # program is still mid-flight, so patches land under live traces
+        run = _SplitRun(NESTED_SRC, jit=True).run(bundles)
+        assert not run.core.halted
+        return run
+
+    def test_nested_loop_grows_tree_bit_identical(self):
+        fast = _assert_equivalent(NESTED_SRC)
+        stats = fast.trace_jit.stats()
+        # inner loop compiles from back-edge hotness; the drain
+        # epilogue and the outer loop join via exit-site promotion
+        assert stats["promotions"] >= 1
+        assert stats["tree_links"] >= 1
+        assert len(fast.trace_jit.traces) >= 2
+        roots = {tr.root for tr in fast.trace_jit.traces.values()}
+        assert len(roots) == 1  # one tree, rooted at the inner head
+        assert stats["exit_sites"]  # per-site counters exposed
+
+    def test_osr_off_still_compiles_inner_only(self):
+        ref, _ = _run(NESTED_SRC, jit=False)
+        fast, _ = _run(NESTED_SRC, jit=True, osr=False)
+        assert _arch_state(ref) == _arch_state(fast)
+        stats = fast.trace_jit.stats()
+        assert stats["promotions"] == 0
+        assert stats["osr_entries"] == 0
+        assert all(
+            tr.kind == "loop" for tr in fast.trace_jit.traces.values()
+        )
+
+    def test_patch_under_tree_deoptimizes_whole_tree(self):
+        def scenario(jit):
+            run = _SplitRun(NESTED_SRC, jit=jit).run(2000)
+            # patch the *epilogue* adds — a bundle covered by promoted
+            # nodes but not by the inner loop's own trace
+            epi = run.image.labels[".inner"] + 16
+            run.image.patch_slot(epi, 0, _patched_add(3), reason="test")
+            return run, run.finish()
+
+        run_fast, fast = scenario(True)
+        _, ref = scenario(False)
+        tjit = run_fast.core.trace_jit
+        n_nodes = 3  # inner loop + epilogue + outer loop at minimum
+        assert tjit.invalidations >= n_nodes
+        # the inner loop's own bundles were untouched, yet its node died
+        # with the tree (shared root => shared validity domain)
+        assert _arch_state(ref) == _arch_state(fast)
+        assert fast.regs.read_gr(1) == ref.regs.read_gr(1)
+
+    def test_rollback_keeps_tree_resident(self):
+        run = self._grown_tree()
+        tjit = run.core.trace_jit
+        resident = set(tjit.traces)
+        assert len(resident) >= 2
+        compiles = tjit.compiles
+        epi = run.image.labels[".inner"] + 16
+        run.image.patch_slot(epi, 0, _patched_add(3), reason="test")
+        run.image.revert_patch(run.image.patches[-1])
+        run.finish()
+        # byte-identical rollback: epoch bumped, content keys match —
+        # every node of the tree survives untouched
+        assert tjit.invalidations == 0
+        assert set(tjit.traces) >= resident
+        assert tjit.compiles >= compiles
+
+
+class TestOsrEntry:
+    def test_sample_exit_reenters_mid_trace(self):
+        # a sampling interrupt leaves the trace mid-body; with OSR the
+        # next dispatch enters at that bundle instead of interpreting
+        # back to the loop head
+        ref, _ = _run(CTOP_SRC, jit=False, interval=37)
+        fast, _ = _run(CTOP_SRC, jit=True, interval=37)
+        assert _arch_state(ref) == _arch_state(fast)
+        assert fast.trace_jit.osr_entries > 0
+
+    def test_osr_off_never_enters_mid_trace(self):
+        ref, _ = _run(CTOP_SRC, jit=False, interval=37)
+        fast, _ = _run(CTOP_SRC, jit=True, osr=False, interval=37)
+        assert _arch_state(ref) == _arch_state(fast)
+        assert fast.trace_jit.osr_entries == 0
+
+    def test_budget_exit_resumes_without_reprobe(self):
+        def scenario(jit):
+            run = _SplitRun(CLOOP_SRC, jit=jit)
+            for _ in range(60):
+                run.run(7)  # tiny slices force EXIT_BUDGET boundaries
+            return run.core, run.finish()
+
+        core, fast = scenario(True)
+        _, ref = scenario(False)
+        assert _arch_state(ref) == _arch_state(fast)
+        stats = core.trace_jit.stats()
+        assert stats["resume_hits"] > 0
+        assert stats["deopts"]["budget"] >= stats["resume_hits"]
+
+
 class TestObservability:
     def test_stats_shape_and_deopt_reasons(self):
         fast, _ = _run(CLOOP_SRC, jit=True)
         stats = fast.trace_jit.stats()
         assert set(stats) == {
             "compiles", "invalidations", "entries", "iterations",
-            "compiled_bundles", "deopts",
+            "compiled_bundles", "osr_entries", "tree_links",
+            "resume_hits", "promotions", "evicted", "exit_sites",
+            "deopts",
         }
         assert set(stats["deopts"]) == set(DEOPT_REASONS)
         # the loop eventually exits through the back-edge falling through
         assert stats["deopts"]["loop-exit"] >= 1
         assert stats["iterations"] >= stats["entries"] > 0
+
+    def test_exit_site_counters(self):
+        fast, _ = _run(NESTED_SRC, jit=True)
+        sites = fast.trace_jit.stats()["exit_sites"]
+        assert sites
+        assert all(
+            isinstance(k, str) and "->" in k and v > 0
+            for k, v in sites.items()
+        )

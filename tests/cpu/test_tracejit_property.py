@@ -151,6 +151,60 @@ def test_wtop_compiled_matches_generic(kernel, trip):
     assert fast.regs.read_gr(9) == trip
 
 
+@given(
+    kernel=KERNEL,
+    lc=st.integers(8, 40),
+    ec=st.integers(1, 4),
+    interval=st.integers(3, 23),
+    slice_bundles=st.integers(5, 64),
+)
+@settings(**COMMON)
+def test_osr_entry_matches_generic_from_mid_loop_state(
+    kernel, lc, ec, interval, slice_bundles
+):
+    """OSR-entered execution is bit-identical from arbitrary mid-loop state.
+
+    Random sampling intervals interrupt the compiled trace at arbitrary
+    bundles (capturing rotation bases, predicates, LC/EC and the
+    countdown mid-iteration) and random slice sizes force budget exits
+    at arbitrary boundaries; with OSR on, every re-dispatch after either
+    kind of interruption may enter the trace mid-body through a suffix
+    closure.  All three policies must agree on the full architectural
+    state.
+    """
+    body = "\n".join(kernel)
+    src = (
+        "clrrrb\nalloc rot=8\nmov pr.rot=0x10000\n"
+        f"mov ar.lc={lc}\nmov ar.ec={ec}\n"
+        "mov r1=3\nmov r2=5\nmov r3=7\nmov r4=9\n"
+        f".loop:\n{body}\nbr.ctop.sptk .loop\nhalt\n"
+    )
+
+    def execute(jit, osr):
+        machine = Machine(itanium2_smp(1))
+        image = assemble(src)
+        machine.load_image(image)
+        core = machine.cores[0]
+        core.jit_enabled = jit
+        core.osr_enabled = jit and osr
+        if jit:
+            core.trace_jit.threshold = 2
+        core.enable_sampling(interval, lambda c: None)
+        core.start(image.base)
+        for _ in range(100_000):
+            if core.halted:
+                break
+            core.run(slice_bundles)
+        assert core.halted
+        return core
+
+    ref = execute(jit=False, osr=False)
+    base = execute(jit=True, osr=False)
+    osr = execute(jit=True, osr=True)
+    assert _arch_state(ref) == _arch_state(base), src
+    assert _arch_state(ref) == _arch_state(osr), src
+
+
 @given(lc=st.integers(0, 60), step=st.integers(-64, 64))
 @settings(**COMMON)
 def test_cloop_counter_sweep(lc, step):

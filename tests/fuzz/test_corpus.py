@@ -13,6 +13,10 @@ CORPUS = os.path.join(
     os.path.dirname(__file__), "..", "..", "benchmarks", "fuzz", "corpus.json"
 )
 
+#: loop classes whose generated shapes always chain compiled exits —
+#: the tree-free regime does not exist for them (see make_corpus.py)
+ALWAYS_LINKED = ("gather", "histogram")
+
 
 @pytest.fixture(scope="module")
 def corpus():
@@ -24,13 +28,19 @@ class TestCorpusShape:
     def test_fifty_entries(self, corpus):
         assert len(corpus["entries"]) == 50
 
-    def test_covers_every_loop_class_in_both_jit_regimes(self, corpus):
+    def test_covers_every_loop_class_in_both_tree_regimes(self, corpus):
         cells = {
-            (e["loop_class"], e["jit_eligible"]) for e in corpus["entries"]
+            (e["loop_class"], e["tree_linked"]) for e in corpus["entries"]
         }
         for cls in LOOP_CLASSES:
-            assert (cls, True) in cells, f"{cls}: no JIT-eligible entry"
-            assert (cls, False) in cells, f"{cls}: no JIT-ineligible entry"
+            assert (cls, True) in cells, f"{cls}: no tree-linked entry"
+            if cls not in ALWAYS_LINKED:
+                assert (cls, False) in cells, f"{cls}: no tree-free entry"
+
+    def test_everything_is_jit_eligible_under_osr(self, corpus):
+        # with OSR entry the hot threshold is 3 back-edges — every
+        # generated scenario compiles at least one trace
+        assert all(e["jit_eligible"] for e in corpus["entries"])
 
     def test_entries_consistent_with_generator(self, corpus):
         # the corpus records what the generator will actually produce —
@@ -50,10 +60,11 @@ class TestCorpusReplay:
         pairs = [(e["seed"], e["fault_seed"]) for e in corpus["entries"]]
         report = DifferentialFuzzer(pairs=pairs).run(jobs=2)
         assert report.ok, report.summary(verbose=False)
-        # all eleven digest axes executed for every entry (the crash run
+        # all twelve digest axes executed for every entry (the crash run
         # records no digest): compile + run succeeded everywhere
-        assert all(len(r.digests) == 11 for r in report.results)
-        # and the recorded JIT-eligibility still holds
+        assert all(len(r.digests) == 12 for r in report.results)
+        # and the recorded JIT/tree eligibility still holds
         by_seed = {r.params.seed: r for r in report.results}
         for e in corpus["entries"]:
             assert (by_seed[e["seed"]].compiles > 0) == e["jit_eligible"]
+            assert (by_seed[e["seed"]].tree_links > 0) == e["tree_linked"]

@@ -9,7 +9,7 @@ from repro.fuzz.report import repro_command
 from repro.isa.instructions import Instruction, Op
 
 AXES = (
-    "none", "adaptive", "jit-off", "faulted", "ckpt", "resume",
+    "none", "adaptive", "jit-off", "osr-off", "faulted", "ckpt", "resume",
     "db-cold", "db-warm", "db-corrupt", "overloaded", "fleet-faulted",
 )
 
@@ -24,7 +24,10 @@ class TestCleanSweep:
     def test_ground_truth_digest_agrees_across_axes(self):
         result = run_scenario(generate_params(1))
         digests = dict(result.digests)
-        assert digests["none"] == digests["adaptive"] == digests["jit-off"]
+        assert (
+            digests["none"] == digests["adaptive"]
+            == digests["jit-off"] == digests["osr-off"]
+        )
 
     def test_adaptive_axis_observes_sampling_and_jit(self):
         # at least one early seed must exercise both the HPM sampling

@@ -251,6 +251,64 @@ class TestGovernedWake:
         assert run() == run()
 
 
+def _jit_node(head: int, n_bundles: int, stamp: int):
+    from repro.cpu.tracejit import CompiledTrace
+
+    node = CompiledTrace(
+        fn=lambda *args: None, head=head, sor=0, addrs=(head,), keys=(None,),
+        n_bundles=n_bundles, source="", kind="loop", body=[], bpc=2,
+    )
+    node.last_used = stamp
+    return node
+
+
+class TestJitFootprintBudget:
+    def _core_with_nodes(self, sizes):
+        from repro.cpu.tracejit import TraceJit
+
+        tjit = TraceJit()
+        for i, n in enumerate(sizes):
+            node = _jit_node(0x4000_0000 + 64 * i, n, stamp=i)
+            tjit.traces[node.head] = node
+        return SimpleNamespace(cpu_id=1, trace_jit=tjit)
+
+    def test_cold_tree_nodes_evicted_to_budget_with_ledger(self):
+        gov = _governor(jit_node_budget=4)
+        core = self._core_with_nodes((3, 2, 2))
+        gov.on_wake(0, _empty_cache(), cores=[core])
+        tjit = core.trace_jit
+        assert tjit.compiled_footprint() <= 4
+        # coldest-entered first: the stamp-0 node (3 bundles) goes
+        assert 0x4000_0000 not in tjit.traces
+        assert gov.jit_evictions == 1
+        assert gov.jit_evicted_bundles == 3
+        report = gov.report()
+        assert report["jit_evictions"] == 1
+        assert report["jit_evicted_bundles"] == 3
+        # evicted heads must re-prove hotness from zero (the compile
+        # trigger is exact-equality on the threshold)
+        assert tjit.hot[0x4000_0000] == 0
+        assert tjit.generation >= 1
+
+    def test_within_budget_is_a_noop(self):
+        gov = _governor(jit_node_budget=16)
+        core = self._core_with_nodes((3, 2))
+        gov.on_wake(0, _empty_cache(), cores=[core])
+        assert len(core.trace_jit.traces) == 2
+        assert gov.jit_evictions == 0
+
+    def test_unbounded_when_budget_is_none(self):
+        gov = _governor(jit_node_budget=None)
+        core = self._core_with_nodes((50, 50, 50))
+        gov.on_wake(0, _empty_cache(), cores=[core])
+        assert len(core.trace_jit.traces) == 3
+        assert gov.jit_evictions == 0
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="jit_node_budget"):
+            GovernorConfig(jit_node_budget=0)
+
+
 class TestRecoveryHorizon:
     def test_max_recovery_wakes_covers_the_whole_ladder(self):
         config = GovernorConfig(recovery_windows=3)

@@ -102,6 +102,28 @@ class TestWarmStart:
         # the acceptance bar: >= 90% less profiling time on the warm run
         assert warm_report.ramp_retired <= cold_ramp * 0.1
 
+    def test_trace_tree_shapes_persist_and_seed_warm_jit(self, cold_and_warm):
+        disk, _cold, (_prog, _result, warm_report) = cold_and_warm
+        from repro.persist import ProfileDB
+
+        db = ProfileDB(disk)
+        db.load()
+        (entry,) = db.entries.values()
+        shapes = entry.get("jit_trees")
+        # the cold run's hot loops left resident compiled traces whose
+        # shapes were persisted with the entry...
+        assert shapes
+        assert all(
+            len(s) == 4 and s[2] in ("loop", "linear") for s in shapes
+        )
+        assert shapes == sorted(shapes)
+        # ...and the warm run recompiled them before the first
+        # instruction, so compiled dispatch is live at retired 0
+        assert any(
+            e.kind == "deploy" and "trace-tree node" in e.reason
+            for e in warm_report.events
+        )
+
     def test_database_accumulates_runs(self, cold_and_warm):
         disk, _, _ = cold_and_warm
         _prog, _result, report = _run(disk)

@@ -79,6 +79,19 @@ _decision_rec = st.fixed_dictionaries(
     }
 )
 
+# [root, head, kind, sor] trace-tree shapes, pre-canonicalized (sorted,
+# deduped) the way every writer emits them
+_tree_shapes = st.lists(
+    st.tuples(
+        st.integers(0x4000, 0x4100),
+        st.integers(0x4000, 0x4100),
+        st.sampled_from(("loop", "linear")),
+        st.sampled_from((0, 8, 16)),
+    ),
+    max_size=3,
+    unique=True,
+).map(lambda shapes: sorted(list(s) for s in shapes))
+
 # integer-valued cpi_total keeps float addition exact, so the
 # associativity assertion below is bit-exact rather than approximate
 _entry = st.fixed_dictionaries(
@@ -95,6 +108,7 @@ _entry = st.fixed_dictionaries(
             max_size=3,
         ),
         "flips": st.integers(0, 10),
+        "jit_trees": _tree_shapes,
     }
 )
 

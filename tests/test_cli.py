@@ -159,7 +159,7 @@ class TestEnvValidation:
         err = capsys.readouterr().err
         assert rc == 2
         assert err.count("\n") == 1
-        assert "REPRO_TRACE_JIT must be '0' or '1', got 'yes'" in err
+        assert "REPRO_TRACE_JIT must be '0', '1' or 'osr-off', got 'yes'" in err
 
     def test_trace_jit_rejects_stray_integer(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_JIT", "2")
@@ -167,7 +167,13 @@ class TestEnvValidation:
         err = capsys.readouterr().err
         assert rc == 2 and "REPRO_TRACE_JIT" in err and "'2'" in err
 
-    @pytest.mark.parametrize("value", ["0", "1", "", " 1 "])
+    def test_trace_jit_rejects_osr_off_typo(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_JIT", "osr_off")
+        rc = main(["table1"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "'osr_off'" in err
+
+    @pytest.mark.parametrize("value", ["0", "1", "", " 1 ", "osr-off"])
     def test_trace_jit_accepts_valid_values(self, capsys, monkeypatch, value):
         # unset/empty means "default on" (mirrors REPRO_FAULTS handling)
         monkeypatch.setenv("REPRO_TRACE_JIT", value)
@@ -335,7 +341,7 @@ class TestFuzzCli:
         data = json.loads(out_path.read_text())
         assert data["ok"] is True
         assert data["scenarios"][0]["seed"] == 3
-        assert len(data["scenarios"][0]["digests"]) == 11
+        assert len(data["scenarios"][0]["digests"]) == 12
 
 
 class TestRecoveryCli:
